@@ -1,0 +1,53 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// Error produced while assembling SP32 source.
+///
+/// Carries the 1-based source line number where the problem was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    /// Creates an error at the given 1-based line number.
+    pub fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line the error refers to.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The human-readable description, without location.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let err = AsmError::new(7, "bad things");
+        assert_eq!(err.to_string(), "line 7: bad things");
+        assert_eq!(err.line(), 7);
+        assert_eq!(err.message(), "bad things");
+    }
+}

@@ -1,0 +1,617 @@
+//! Statement sizing and emission: pseudo-instruction expansion, encoding and
+//! relocation generation.
+
+use flexprot_isa::{Image, Inst, Reg, Reloc, RelocKind, WORD_BYTES};
+
+use crate::error::AsmError;
+use crate::parse::{Operand, Stmt};
+
+/// Number of text words a statement occupies (pass 1).
+pub fn stmt_words(stmt: &Stmt, line: usize) -> Result<u32, AsmError> {
+    match stmt {
+        Stmt::Globl(_) => Ok(0),
+        Stmt::Op { mnemonic, operands } => op_words(mnemonic, operands, line),
+        Stmt::SegText | Stmt::SegData => unreachable!("segment switches handled by caller"),
+        _ => Err(AsmError::new(
+            line,
+            "data directive not allowed in .text segment",
+        )),
+    }
+}
+
+fn op_words(mnemonic: &str, operands: &[Operand], line: usize) -> Result<u32, AsmError> {
+    Ok(match mnemonic {
+        "li" => {
+            let value = match operands.get(1) {
+                Some(Operand::Imm(v)) => *v,
+                _ => return Err(AsmError::new(line, "li expects `li $rd, imm`")),
+            };
+            if i16::try_from(value).is_ok() || u16::try_from(value).is_ok() {
+                1
+            } else {
+                2
+            }
+        }
+        "la" => 2,
+        "bgt" | "blt" | "bge" | "ble" => 2,
+        _ => 1,
+    })
+}
+
+/// New data-segment size after a statement (pass 1).
+pub fn data_size_after(stmt: &Stmt, current: u32, line: usize) -> Result<u32, AsmError> {
+    match stmt {
+        Stmt::Globl(_) => Ok(current),
+        Stmt::Word(values) => Ok(align_to(current, 4) + 4 * values.len() as u32),
+        Stmt::Half(values) => Ok(align_to(current, 2) + 2 * values.len() as u32),
+        Stmt::Byte(values) => Ok(current + values.len() as u32),
+        Stmt::Space(n) => Ok(current + n),
+        Stmt::Align(n) => Ok(align_to(current, 1 << n)),
+        Stmt::Bytes(bytes) => Ok(current + bytes.len() as u32),
+        Stmt::Op { .. } => Err(AsmError::new(
+            line,
+            "instruction not allowed in .data segment",
+        )),
+        Stmt::SegText | Stmt::SegData => unreachable!("segment switches handled by caller"),
+    }
+}
+
+fn align_to(value: u32, alignment: u32) -> u32 {
+    value.div_ceil(alignment) * alignment
+}
+
+/// Emits a data statement's bytes (pass 2). Layout must match
+/// [`data_size_after`].
+pub fn emit_data(stmt: &Stmt, line: usize, data: &mut Vec<u8>) -> Result<(), AsmError> {
+    let pad_to = |data: &mut Vec<u8>, alignment: u32| {
+        let target = align_to(data.len() as u32, alignment) as usize;
+        data.resize(target, 0);
+    };
+    let check = |line: usize, v: i64, bits: u32| -> Result<u64, AsmError> {
+        let min = -(1i64 << (bits - 1));
+        let max = (1i64 << bits) - 1;
+        if (min..=max).contains(&v) {
+            Ok((v as u64) & ((1u64 << bits) - 1))
+        } else {
+            Err(AsmError::new(
+                line,
+                format!("value {v} does not fit in {bits} bits"),
+            ))
+        }
+    };
+    match stmt {
+        Stmt::Globl(_) => {}
+        Stmt::Word(values) => {
+            pad_to(data, 4);
+            for &v in values {
+                let bits = check(line, v, 32)? as u32;
+                data.extend_from_slice(&bits.to_le_bytes());
+            }
+        }
+        Stmt::Half(values) => {
+            pad_to(data, 2);
+            for &v in values {
+                let bits = check(line, v, 16)? as u16;
+                data.extend_from_slice(&bits.to_le_bytes());
+            }
+        }
+        Stmt::Byte(values) => {
+            for &v in values {
+                data.push(check(line, v, 8)? as u8);
+            }
+        }
+        Stmt::Space(n) => data.resize(data.len() + *n as usize, 0),
+        Stmt::Align(n) => pad_to(data, 1 << n),
+        Stmt::Bytes(bytes) => data.extend_from_slice(bytes),
+        _ => unreachable!("checked in pass 1"),
+    }
+    Ok(())
+}
+
+/// Emits a text statement's words and relocations (pass 2).
+pub fn emit_text(stmt: &Stmt, line: usize, image: &mut Image) -> Result<(), AsmError> {
+    match stmt {
+        Stmt::Globl(_) => Ok(()),
+        Stmt::Op { mnemonic, operands } => {
+            let mut e = Emitter { image, line };
+            e.op(mnemonic, operands)
+        }
+        _ => unreachable!("checked in pass 1"),
+    }
+}
+
+struct Emitter<'a> {
+    image: &'a mut Image,
+    line: usize,
+}
+
+impl Emitter<'_> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, AsmError> {
+        Err(AsmError::new(self.line, message))
+    }
+
+    fn here(&self) -> u32 {
+        self.image.text_base + self.image.text.len() as u32 * WORD_BYTES
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.image.text.push(inst.encode());
+    }
+
+    fn push_reloc(&mut self, inst: Inst, kind: RelocKind, target: u32) {
+        let text_index = self.image.text.len();
+        self.image.text.push(inst.encode());
+        self.image.relocs.push(Reloc {
+            text_index,
+            kind,
+            target,
+        });
+    }
+
+    fn reg(&self, operands: &[Operand], i: usize) -> Result<Reg, AsmError> {
+        match operands.get(i) {
+            Some(Operand::Reg(r)) => Ok(*r),
+            Some(other) => self.err(format!(
+                "operand {} must be a register, found {}",
+                i + 1,
+                other.kind()
+            )),
+            None => self.err(format!("missing operand {}", i + 1)),
+        }
+    }
+
+    fn mem(&self, operands: &[Operand], i: usize) -> Result<(i16, Reg), AsmError> {
+        match operands.get(i) {
+            Some(Operand::Mem { off, base }) => {
+                let off = i16::try_from(*off)
+                    .map_err(|_| AsmError::new(self.line, format!("offset {off} out of range")))?;
+                Ok((off, *base))
+            }
+            Some(other) => self.err(format!(
+                "operand {} must be `off($base)`, found {}",
+                i + 1,
+                other.kind()
+            )),
+            None => self.err(format!("missing operand {}", i + 1)),
+        }
+    }
+
+    fn imm(&self, operands: &[Operand], i: usize) -> Result<i64, AsmError> {
+        match operands.get(i) {
+            Some(Operand::Imm(v)) => Ok(*v),
+            Some(other) => self.err(format!(
+                "operand {} must be an immediate, found {}",
+                i + 1,
+                other.kind()
+            )),
+            None => self.err(format!("missing operand {}", i + 1)),
+        }
+    }
+
+    fn simm16(&self, operands: &[Operand], i: usize) -> Result<i16, AsmError> {
+        let v = self.imm(operands, i)?;
+        i16::try_from(v)
+            .map_err(|_| AsmError::new(self.line, format!("immediate {v} does not fit in i16")))
+    }
+
+    fn uimm16(&self, operands: &[Operand], i: usize) -> Result<u16, AsmError> {
+        let v = self.imm(operands, i)?;
+        u16::try_from(v)
+            .map_err(|_| AsmError::new(self.line, format!("immediate {v} does not fit in u16")))
+    }
+
+    fn shamt(&self, operands: &[Operand], i: usize) -> Result<u8, AsmError> {
+        let v = self.imm(operands, i)?;
+        if (0..32).contains(&v) {
+            Ok(v as u8)
+        } else {
+            self.err(format!("shift amount {v} out of range 0..32"))
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<u32, AsmError> {
+        self.image
+            .symbol(name)
+            .ok_or_else(|| AsmError::new(self.line, format!("undefined label `{name}`")))
+    }
+
+    /// Branch offset (in words) from the *next* instruction to `target`.
+    fn branch_off(&self, branch_addr: u32, target: u32) -> Result<i16, AsmError> {
+        let delta = (i64::from(target) - i64::from(branch_addr) - 4) / 4;
+        i16::try_from(delta).map_err(|_| {
+            AsmError::new(
+                self.line,
+                format!("branch target {target:#x} out of 16-bit range"),
+            )
+        })
+    }
+
+    /// Resolves a branch destination operand to (offset, reloc target).
+    fn branch_dest(
+        &self,
+        operands: &[Operand],
+        i: usize,
+        branch_addr: u32,
+    ) -> Result<(i16, Option<u32>), AsmError> {
+        match operands.get(i) {
+            Some(Operand::Label(name)) => {
+                let target = self.resolve(name)?;
+                Ok((self.branch_off(branch_addr, target)?, Some(target)))
+            }
+            Some(Operand::Imm(v)) => {
+                let off = i16::try_from(*v).map_err(|_| {
+                    AsmError::new(self.line, format!("branch offset {v} does not fit in i16"))
+                })?;
+                Ok((off, None))
+            }
+            Some(other) => self.err(format!(
+                "operand {} must be a label or offset, found {}",
+                i + 1,
+                other.kind()
+            )),
+            None => self.err(format!("missing operand {}", i + 1)),
+        }
+    }
+
+    fn push_branch(
+        &mut self,
+        make: impl Fn(i16) -> Inst,
+        operands: &[Operand],
+        dest_index: usize,
+    ) -> Result<(), AsmError> {
+        let addr = self.here();
+        let (off, target) = self.branch_dest(operands, dest_index, addr)?;
+        match target {
+            Some(target) => self.push_reloc(make(off), RelocKind::Branch16, target),
+            None => self.push(make(off)),
+        }
+        Ok(())
+    }
+
+    fn jump_dest(&self, operands: &[Operand], i: usize) -> Result<(u32, Option<u32>), AsmError> {
+        match operands.get(i) {
+            Some(Operand::Label(name)) => {
+                let target = self.resolve(name)?;
+                Ok((target >> 2, Some(target)))
+            }
+            Some(Operand::Imm(v)) => {
+                let addr = u32::try_from(*v).map_err(|_| {
+                    AsmError::new(self.line, format!("jump target {v} out of range"))
+                })?;
+                Ok((addr >> 2, None))
+            }
+            Some(other) => self.err(format!(
+                "operand {} must be a label or address, found {}",
+                i + 1,
+                other.kind()
+            )),
+            None => self.err(format!("missing operand {}", i + 1)),
+        }
+    }
+
+    fn arity(&self, operands: &[Operand], n: usize) -> Result<(), AsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            self.err(format!("expected {n} operands, found {}", operands.len()))
+        }
+    }
+
+    fn op(&mut self, mnemonic: &str, ops: &[Operand]) -> Result<(), AsmError> {
+        type R3 = fn(Reg, Reg, Reg) -> Inst;
+        let r3: Option<R3> = match mnemonic {
+            "add" => Some(|rd, rs, rt| Inst::Add { rd, rs, rt }),
+            "addu" => Some(|rd, rs, rt| Inst::Addu { rd, rs, rt }),
+            "sub" => Some(|rd, rs, rt| Inst::Sub { rd, rs, rt }),
+            "subu" => Some(|rd, rs, rt| Inst::Subu { rd, rs, rt }),
+            "and" => Some(|rd, rs, rt| Inst::And { rd, rs, rt }),
+            "or" => Some(|rd, rs, rt| Inst::Or { rd, rs, rt }),
+            "xor" => Some(|rd, rs, rt| Inst::Xor { rd, rs, rt }),
+            "nor" => Some(|rd, rs, rt| Inst::Nor { rd, rs, rt }),
+            "slt" => Some(|rd, rs, rt| Inst::Slt { rd, rs, rt }),
+            "sltu" => Some(|rd, rs, rt| Inst::Sltu { rd, rs, rt }),
+            "mul" => Some(|rd, rs, rt| Inst::Mul { rd, rs, rt }),
+            "div" => Some(|rd, rs, rt| Inst::Div { rd, rs, rt }),
+            "rem" => Some(|rd, rs, rt| Inst::Rem { rd, rs, rt }),
+            _ => None,
+        };
+        if let Some(make) = r3 {
+            self.arity(ops, 3)?;
+            let (rd, rs, rt) = (self.reg(ops, 0)?, self.reg(ops, 1)?, self.reg(ops, 2)?);
+            self.push(make(rd, rs, rt));
+            return Ok(());
+        }
+
+        match mnemonic {
+            // --- shifts ---
+            "sll" | "srl" | "sra" => {
+                self.arity(ops, 3)?;
+                let (rd, rt) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                let sh = self.shamt(ops, 2)?;
+                self.push(match mnemonic {
+                    "sll" => Inst::Sll { rd, rt, sh },
+                    "srl" => Inst::Srl { rd, rt, sh },
+                    _ => Inst::Sra { rd, rt, sh },
+                });
+            }
+            "sllv" | "srlv" | "srav" => {
+                self.arity(ops, 3)?;
+                let (rd, rt, rs) = (self.reg(ops, 0)?, self.reg(ops, 1)?, self.reg(ops, 2)?);
+                self.push(match mnemonic {
+                    "sllv" => Inst::Sllv { rd, rt, rs },
+                    "srlv" => Inst::Srlv { rd, rt, rs },
+                    _ => Inst::Srav { rd, rt, rs },
+                });
+            }
+            // --- immediate ALU ---
+            "addi" | "slti" | "sltiu" => {
+                self.arity(ops, 3)?;
+                let (rt, rs) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                let imm = self.simm16(ops, 2)?;
+                self.push(match mnemonic {
+                    "addi" => Inst::Addi { rt, rs, imm },
+                    "slti" => Inst::Slti { rt, rs, imm },
+                    _ => Inst::Sltiu { rt, rs, imm },
+                });
+            }
+            "andi" | "ori" | "xori" => {
+                self.arity(ops, 3)?;
+                let (rt, rs) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                let imm = self.uimm16(ops, 2)?;
+                self.push(match mnemonic {
+                    "andi" => Inst::Andi { rt, rs, imm },
+                    "ori" => Inst::Ori { rt, rs, imm },
+                    _ => Inst::Xori { rt, rs, imm },
+                });
+            }
+            "lui" => {
+                self.arity(ops, 2)?;
+                let rt = self.reg(ops, 0)?;
+                let imm = self.uimm16(ops, 1)?;
+                self.push(Inst::Lui { rt, imm });
+            }
+            // --- memory ---
+            "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => {
+                self.arity(ops, 2)?;
+                let rt = self.reg(ops, 0)?;
+                let (off, base) = self.mem(ops, 1)?;
+                self.push(match mnemonic {
+                    "lb" => Inst::Lb { rt, off, base },
+                    "lh" => Inst::Lh { rt, off, base },
+                    "lw" => Inst::Lw { rt, off, base },
+                    "lbu" => Inst::Lbu { rt, off, base },
+                    "lhu" => Inst::Lhu { rt, off, base },
+                    "sb" => Inst::Sb { rt, off, base },
+                    "sh" => Inst::Sh { rt, off, base },
+                    _ => Inst::Sw { rt, off, base },
+                });
+            }
+            // --- branches ---
+            "beq" | "bne" => {
+                self.arity(ops, 3)?;
+                let (rs, rt) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                let make = move |off| match mnemonic {
+                    "beq" => Inst::Beq { rs, rt, off },
+                    _ => Inst::Bne { rs, rt, off },
+                };
+                self.push_branch(make, ops, 2)?;
+            }
+            "blez" | "bgtz" | "bltz" | "bgez" => {
+                self.arity(ops, 2)?;
+                let rs = self.reg(ops, 0)?;
+                let make = move |off| match mnemonic {
+                    "blez" => Inst::Blez { rs, off },
+                    "bgtz" => Inst::Bgtz { rs, off },
+                    "bltz" => Inst::Bltz { rs, off },
+                    _ => Inst::Bgez { rs, off },
+                };
+                self.push_branch(make, ops, 1)?;
+            }
+            "beqz" | "bnez" => {
+                self.arity(ops, 2)?;
+                let rs = self.reg(ops, 0)?;
+                let make = move |off| match mnemonic {
+                    "beqz" => Inst::Beq {
+                        rs,
+                        rt: Reg::ZERO,
+                        off,
+                    },
+                    _ => Inst::Bne {
+                        rs,
+                        rt: Reg::ZERO,
+                        off,
+                    },
+                };
+                self.push_branch(make, ops, 1)?;
+            }
+            "b" => {
+                self.arity(ops, 1)?;
+                let make = |off| Inst::Beq {
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    off,
+                };
+                self.push_branch(make, ops, 0)?;
+            }
+            "bgt" | "blt" | "bge" | "ble" => {
+                self.arity(ops, 3)?;
+                let (a, b) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                // bgt a,b  <=>  slt $at, b, a ; bne $at, $zero
+                // blt a,b  <=>  slt $at, a, b ; bne
+                // bge a,b  <=>  slt $at, a, b ; beq
+                // ble a,b  <=>  slt $at, b, a ; beq
+                let (rs, rt) = match mnemonic {
+                    "bgt" | "ble" => (b, a),
+                    _ => (a, b),
+                };
+                self.push(Inst::Slt {
+                    rd: Reg::AT,
+                    rs,
+                    rt,
+                });
+                let taken_on_set = matches!(mnemonic, "bgt" | "blt");
+                let make = move |off| {
+                    if taken_on_set {
+                        Inst::Bne {
+                            rs: Reg::AT,
+                            rt: Reg::ZERO,
+                            off,
+                        }
+                    } else {
+                        Inst::Beq {
+                            rs: Reg::AT,
+                            rt: Reg::ZERO,
+                            off,
+                        }
+                    }
+                };
+                self.push_branch(make, ops, 2)?;
+            }
+            // --- jumps ---
+            "j" | "jal" => {
+                self.arity(ops, 1)?;
+                let (target, reloc) = self.jump_dest(ops, 0)?;
+                let inst = if mnemonic == "j" {
+                    Inst::J { target }
+                } else {
+                    Inst::Jal { target }
+                };
+                match reloc {
+                    Some(addr) => self.push_reloc(inst, RelocKind::Jump26, addr),
+                    None => self.push(inst),
+                }
+            }
+            "jr" => {
+                self.arity(ops, 1)?;
+                let rs = self.reg(ops, 0)?;
+                self.push(Inst::Jr { rs });
+            }
+            "jalr" => {
+                let (rd, rs) = match ops.len() {
+                    1 => (Reg::RA, self.reg(ops, 0)?),
+                    2 => (self.reg(ops, 0)?, self.reg(ops, 1)?),
+                    n => return self.err(format!("jalr expects 1 or 2 operands, found {n}")),
+                };
+                self.push(Inst::Jalr { rd, rs });
+            }
+            // --- system ---
+            "syscall" => {
+                self.arity(ops, 0)?;
+                self.push(Inst::Syscall);
+            }
+            "break" => {
+                self.arity(ops, 0)?;
+                self.push(Inst::Break);
+            }
+            "nop" => {
+                self.arity(ops, 0)?;
+                self.push(Inst::NOP);
+            }
+            // --- pseudo data movement ---
+            "move" => {
+                self.arity(ops, 2)?;
+                let (rd, rs) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                self.push(Inst::Addu {
+                    rd,
+                    rs,
+                    rt: Reg::ZERO,
+                });
+            }
+            "not" => {
+                self.arity(ops, 2)?;
+                let (rd, rs) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                self.push(Inst::Nor {
+                    rd,
+                    rs,
+                    rt: Reg::ZERO,
+                });
+            }
+            "neg" => {
+                self.arity(ops, 2)?;
+                let (rd, rt) = (self.reg(ops, 0)?, self.reg(ops, 1)?);
+                self.push(Inst::Sub {
+                    rd,
+                    rs: Reg::ZERO,
+                    rt,
+                });
+            }
+            "li" => {
+                self.arity(ops, 2)?;
+                let rt = self.reg(ops, 0)?;
+                let value = self.imm(ops, 1)?;
+                if let Ok(imm) = i16::try_from(value) {
+                    self.push(Inst::Addi {
+                        rt,
+                        rs: Reg::ZERO,
+                        imm,
+                    });
+                } else if let Ok(imm) = u16::try_from(value) {
+                    self.push(Inst::Ori {
+                        rt,
+                        rs: Reg::ZERO,
+                        imm,
+                    });
+                } else {
+                    let bits = u32::try_from(value)
+                        .or_else(|_| i32::try_from(value).map(|v| v as u32))
+                        .map_err(|_| {
+                            AsmError::new(self.line, format!("li value {value} exceeds 32 bits"))
+                        })?;
+                    self.push(Inst::Lui {
+                        rt,
+                        imm: (bits >> 16) as u16,
+                    });
+                    self.push(Inst::Ori {
+                        rt,
+                        rs: rt,
+                        imm: (bits & 0xFFFF) as u16,
+                    });
+                }
+            }
+            "la" => {
+                self.arity(ops, 2)?;
+                let rt = self.reg(ops, 0)?;
+                let name = match ops.get(1) {
+                    Some(Operand::Label(name)) => name.clone(),
+                    Some(other) => {
+                        return self.err(format!("la expects a label, found {}", other.kind()))
+                    }
+                    None => return self.err("missing label operand"),
+                };
+                let target = self.resolve(&name)?;
+                self.push_reloc(
+                    Inst::Lui {
+                        rt,
+                        imm: (target >> 16) as u16,
+                    },
+                    RelocKind::Hi16,
+                    target,
+                );
+                self.push_reloc(
+                    Inst::Ori {
+                        rt,
+                        rs: rt,
+                        imm: (target & 0xFFFF) as u16,
+                    },
+                    RelocKind::Lo16,
+                    target,
+                );
+            }
+            other => return self.err(format!("unknown mnemonic `{other}`")),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_helper() {
+        assert_eq!(align_to(0, 4), 0);
+        assert_eq!(align_to(1, 4), 4);
+        assert_eq!(align_to(4, 4), 4);
+        assert_eq!(align_to(13, 2), 14);
+    }
+}

@@ -1,0 +1,427 @@
+//! A two-pass assembler for the SP32 ISA.
+//!
+//! The assembler turns MIPS-flavoured assembly text into a
+//! [`flexprot_isa::Image`], recording a relocation for every address-bearing
+//! field it emits so that downstream binary-rewriting passes (guard
+//! insertion) can move code safely.
+//!
+//! # Supported syntax
+//!
+//! * labels (`name:`), comments (`# …`), one statement per line;
+//! * all native SP32 instructions with `$`-prefixed register operands;
+//! * pseudo-instructions: `li`, `la`, `move`, `nop`, `not`, `neg`, `b`,
+//!   `beqz`, `bnez`, `bgt`, `blt`, `bge`, `ble`;
+//! * directives: `.text`, `.data`, `.globl`, `.word`, `.half`, `.byte`,
+//!   `.space`, `.align`, `.ascii`, `.asciiz`.
+//!
+//! The entry point is the `main` symbol when defined, otherwise the first
+//! text word.
+//!
+//! # Example
+//!
+//! ```
+//! let image = flexprot_asm::assemble(r#"
+//!         .text
+//! main:   li   $t0, 7
+//!         li   $v0, 1          # print_int service
+//!         addu $a0, $t0, $zero
+//!         syscall
+//!         li   $v0, 10         # exit service
+//!         syscall
+//! "#)?;
+//! assert!(image.symbols.contains_key("main"));
+//! # Ok::<(), flexprot_asm::AsmError>(())
+//! ```
+
+mod error;
+mod expand;
+mod parse;
+
+pub use error::AsmError;
+
+use std::collections::BTreeMap;
+
+use flexprot_isa::{Image, DATA_BASE, TEXT_BASE, WORD_BYTES};
+
+use parse::{Line, Stmt};
+
+/// Assembles SP32 source text into a program [`Image`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying a line number for syntax errors,
+/// undefined or duplicate labels, out-of-range immediates and misused
+/// directives.
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    let lines: Vec<Line> = parse::parse_source(source)?;
+
+    // Pass 1: lay out statements, assign label addresses.
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut text_len_words: u32 = 0;
+    let mut data_len_bytes: u32 = 0;
+    let mut in_text = true;
+    for line in &lines {
+        let here = if in_text {
+            TEXT_BASE + text_len_words * WORD_BYTES
+        } else {
+            DATA_BASE + data_len_bytes
+        };
+        for label in &line.labels {
+            if symbols.insert(label.clone(), here).is_some() {
+                return Err(AsmError::new(
+                    line.number,
+                    format!("duplicate label `{label}`"),
+                ));
+            }
+        }
+        match &line.stmt {
+            Some(Stmt::SegText) => in_text = true,
+            Some(Stmt::SegData) => in_text = false,
+            Some(stmt) => {
+                if in_text {
+                    text_len_words += expand::stmt_words(stmt, line.number)?;
+                } else {
+                    data_len_bytes = expand::data_size_after(stmt, data_len_bytes, line.number)?;
+                }
+            }
+            None => {}
+        }
+    }
+
+    // Pass 2: emit words, data bytes and relocations.
+    let mut image = Image::from_text(Vec::with_capacity(text_len_words as usize));
+    image.symbols = symbols;
+    let mut in_text = true;
+    for line in &lines {
+        match &line.stmt {
+            Some(Stmt::SegText) => in_text = true,
+            Some(Stmt::SegData) => in_text = false,
+            Some(stmt) => {
+                if in_text {
+                    expand::emit_text(stmt, line.number, &mut image)?;
+                } else {
+                    expand::emit_data(stmt, line.number, &mut image.data)?;
+                }
+            }
+            None => {}
+        }
+    }
+    debug_assert_eq!(image.text.len() as u32, text_len_words);
+    debug_assert_eq!(image.data.len() as u32, data_len_bytes);
+
+    if let Some(&main) = image.symbols.get("main") {
+        image.entry = main;
+    }
+    Ok(image)
+}
+
+/// Assembles source and panics with a readable message on failure.
+///
+/// Convenience for tests and statically-known-good embedded kernels.
+///
+/// # Panics
+///
+/// Panics if `source` fails to assemble.
+pub fn assemble_or_panic(source: &str) -> Image {
+    match assemble(source) {
+        Ok(image) => image,
+        Err(err) => panic!("assembly failed: {err}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexprot_isa::{Inst, Reg, RelocKind};
+
+    #[test]
+    fn minimal_program_assembles() {
+        let img = assemble("        .text\nmain:   li $v0, 10\n        syscall\n").unwrap();
+        assert_eq!(img.text.len(), 2);
+        assert_eq!(img.entry, img.text_base);
+        assert_eq!(
+            Inst::decode(img.text[0]).unwrap(),
+            Inst::Addi {
+                rt: Reg::V0,
+                rs: Reg::ZERO,
+                imm: 10
+            }
+        );
+        assert_eq!(Inst::decode(img.text[1]).unwrap(), Inst::Syscall);
+    }
+
+    #[test]
+    fn entry_defaults_to_text_base_without_main() {
+        let img = assemble("start: syscall\n").unwrap();
+        assert_eq!(img.entry, img.text_base);
+    }
+
+    #[test]
+    fn labels_resolve_across_segments() {
+        let img = assemble(
+            r#"
+        .data
+msg:    .asciiz "hi"
+        .align 2
+val:    .word 42
+        .text
+main:   la $a0, msg
+        lw $t0, 0($a0)
+        li $v0, 10
+        syscall
+"#,
+        )
+        .unwrap();
+        assert_eq!(img.symbol("msg"), Some(img.data_base));
+        // "hi\0" is 3 bytes; .align 2 pads to 4.
+        assert_eq!(img.symbol("val"), Some(img.data_base + 4));
+        assert_eq!(&img.data[0..3], b"hi\0");
+        assert_eq!(&img.data[4..8], &42u32.to_le_bytes());
+    }
+
+    #[test]
+    fn la_emits_hi_lo_relocs() {
+        let img = assemble(
+            r#"
+        .data
+msg:    .word 1
+        .text
+main:   la $a0, msg
+        li $v0, 10
+        syscall
+"#,
+        )
+        .unwrap();
+        let msg = img.symbol("msg").unwrap();
+        let hi = img
+            .relocs
+            .iter()
+            .find(|r| r.kind == RelocKind::Hi16)
+            .unwrap();
+        let lo = img
+            .relocs
+            .iter()
+            .find(|r| r.kind == RelocKind::Lo16)
+            .unwrap();
+        assert_eq!(hi.target, msg);
+        assert_eq!(lo.target, msg);
+        assert_eq!(hi.text_index, 0);
+        assert_eq!(lo.text_index, 1);
+        match Inst::decode(img.text[0]).unwrap() {
+            Inst::Lui { rt, imm } => {
+                assert_eq!(rt, Reg::A0);
+                assert_eq!(imm, (msg >> 16) as u16);
+            }
+            other => panic!("expected lui, got {other}"),
+        }
+        match Inst::decode(img.text[1]).unwrap() {
+            Inst::Ori { rt, rs, imm } => {
+                assert_eq!((rt, rs), (Reg::A0, Reg::A0));
+                assert_eq!(imm, (msg & 0xFFFF) as u16);
+            }
+            other => panic!("expected ori, got {other}"),
+        }
+    }
+
+    #[test]
+    fn branches_and_jumps_get_relocs() {
+        let img = assemble(
+            r#"
+main:   beq $t0, $t1, skip
+        jal main
+skip:   j main
+"#,
+        )
+        .unwrap();
+        let kinds: Vec<RelocKind> = img.relocs.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&RelocKind::Branch16));
+        assert_eq!(kinds.iter().filter(|k| **k == RelocKind::Jump26).count(), 2);
+        // beq skips one instruction: offset +1.
+        match Inst::decode(img.text[0]).unwrap() {
+            Inst::Beq { off, .. } => assert_eq!(off, 1),
+            other => panic!("expected beq, got {other}"),
+        }
+        match Inst::decode(img.text[2]).unwrap() {
+            Inst::J { target } => assert_eq!(target << 2, img.text_base),
+            other => panic!("expected j, got {other}"),
+        }
+    }
+
+    #[test]
+    fn li_picks_shortest_encoding() {
+        let img = assemble("main: li $t0, -5\n li $t1, 0x8000\n li $t2, 0x12345678\n").unwrap();
+        // -5 -> addi (1 word); 0x8000 -> ori (1 word); big -> lui+ori (2 words).
+        assert_eq!(img.text.len(), 4);
+        assert!(matches!(
+            Inst::decode(img.text[0]).unwrap(),
+            Inst::Addi { imm: -5, .. }
+        ));
+        assert!(matches!(
+            Inst::decode(img.text[1]).unwrap(),
+            Inst::Ori { imm: 0x8000, .. }
+        ));
+        assert!(matches!(
+            Inst::decode(img.text[2]).unwrap(),
+            Inst::Lui { imm: 0x1234, .. }
+        ));
+        assert!(matches!(
+            Inst::decode(img.text[3]).unwrap(),
+            Inst::Ori { imm: 0x5678, .. }
+        ));
+    }
+
+    #[test]
+    fn pseudo_branches_expand_with_at() {
+        let img = assemble("main: bgt $t0, $t1, main\n nop\n").unwrap();
+        assert_eq!(img.text.len(), 3);
+        match Inst::decode(img.text[0]).unwrap() {
+            Inst::Slt { rd, rs, rt } => {
+                assert_eq!(rd, Reg::AT);
+                // bgt rs,rt === rt < rs
+                assert_eq!((rs, rt), (Reg::T1, Reg::T0));
+            }
+            other => panic!("expected slt, got {other}"),
+        }
+        match Inst::decode(img.text[1]).unwrap() {
+            Inst::Bne { rs, rt, off } => {
+                assert_eq!((rs, rt), (Reg::AT, Reg::ZERO));
+                assert_eq!(off, -2); // back to main
+            }
+            other => panic!("expected bne, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_reported_with_line() {
+        let err = assemble("main: j nowhere\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("nowhere"), "{msg}");
+        assert!(msg.contains("line 1"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        assert!(assemble("a: nop\na: nop\n").is_err());
+    }
+
+    #[test]
+    fn out_of_range_immediate_rejected() {
+        assert!(assemble("main: addi $t0, $t0, 40000\n").is_err());
+        assert!(assemble("main: ori $t0, $t0, -1\n").is_err());
+        assert!(assemble("main: sll $t0, $t0, 32\n").is_err());
+    }
+
+    #[test]
+    fn word_directive_in_text_rejected() {
+        assert!(assemble(".text\nmain: .word 5\n").is_err());
+    }
+
+    #[test]
+    fn align_and_space_layout() {
+        let img = assemble(
+            r#"
+        .data
+a:      .byte 1
+        .align 2
+b:      .word 2
+c:      .space 5
+        .align 1
+d:      .half 3
+        .text
+main:   nop
+"#,
+        )
+        .unwrap();
+        let base = img.data_base;
+        assert_eq!(img.symbol("a"), Some(base));
+        assert_eq!(img.symbol("b"), Some(base + 4));
+        assert_eq!(img.symbol("c"), Some(base + 8));
+        // .align 1 aligns to 2: 8 + 5 = 13 -> 14
+        assert_eq!(img.symbol("d"), Some(base + 14));
+        assert_eq!(img.data.len(), 16);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let img =
+            assemble(".data\ns: .asciiz \"a\\n\\t\\\"\\\\\\0b\"\n.text\nmain: nop\n").unwrap();
+        assert_eq!(&img.data, b"a\n\t\"\\\0b\0");
+    }
+
+    #[test]
+    fn disassemble_reassemble_fixpoint() {
+        let src = r#"
+main:   li   $t0, 3
+        li   $t1, 4
+        addu $t2, $t0, $t1
+        mul  $t3, $t2, $t2
+        sw   $t3, 0($sp)
+        lw   $a0, 0($sp)
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#;
+        let img = assemble(src).unwrap();
+        let disasm = img.disassemble();
+        let img2 = assemble(&disasm).unwrap();
+        assert_eq!(img.text, img2.text);
+    }
+
+    #[test]
+    fn all_native_mnemonics_assemble() {
+        let src = r#"
+main:   add  $t0, $t1, $t2
+        addu $t0, $t1, $t2
+        sub  $t0, $t1, $t2
+        subu $t0, $t1, $t2
+        and  $t0, $t1, $t2
+        or   $t0, $t1, $t2
+        xor  $t0, $t1, $t2
+        nor  $t0, $t1, $t2
+        slt  $t0, $t1, $t2
+        sltu $t0, $t1, $t2
+        mul  $t0, $t1, $t2
+        div  $t0, $t1, $t2
+        rem  $t0, $t1, $t2
+        sll  $t0, $t1, 4
+        srl  $t0, $t1, 4
+        sra  $t0, $t1, 4
+        sllv $t0, $t1, $t2
+        srlv $t0, $t1, $t2
+        srav $t0, $t1, $t2
+        addi $t0, $t1, -1
+        slti $t0, $t1, 5
+        sltiu $t0, $t1, 5
+        andi $t0, $t1, 15
+        ori  $t0, $t1, 15
+        xori $t0, $t1, 15
+        lui  $t0, 0x1001
+        lb   $t0, 0($sp)
+        lh   $t0, 0($sp)
+        lw   $t0, 0($sp)
+        lbu  $t0, 0($sp)
+        lhu  $t0, 0($sp)
+        sb   $t0, 0($sp)
+        sh   $t0, 0($sp)
+        sw   $t0, 0($sp)
+        beq  $t0, $t1, main
+        bne  $t0, $t1, main
+        blez $t0, main
+        bgtz $t0, main
+        bltz $t0, main
+        bgez $t0, main
+        jr   $ra
+        jalr $ra, $t0
+        j    main
+        jal  main
+        break
+        syscall
+"#;
+        let img = assemble(src).unwrap();
+        assert_eq!(img.text.len(), 46);
+        for (addr, decoded) in img.decode_text() {
+            decoded.unwrap_or_else(|e| panic!("word at {addr:#x} failed to decode: {e}"));
+        }
+    }
+}

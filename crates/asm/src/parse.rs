@@ -1,0 +1,373 @@
+//! Source-level parsing: lines, labels, statements and operands.
+
+use flexprot_isa::Reg;
+
+use crate::error::AsmError;
+
+/// One parsed operand of an instruction statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A `$`-prefixed register.
+    Reg(Reg),
+    /// A numeric literal (decimal, hex, or character).
+    Imm(i64),
+    /// A bare identifier referring to a label.
+    Label(String),
+    /// A memory operand `off($base)`.
+    Mem { off: i64, base: Reg },
+}
+
+impl Operand {
+    /// Human-readable operand-kind name, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Operand::Reg(_) => "register",
+            Operand::Imm(_) => "immediate",
+            Operand::Label(_) => "label",
+            Operand::Mem { .. } => "memory operand",
+        }
+    }
+}
+
+/// One statement (instruction or directive).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `.text`
+    SegText,
+    /// `.data`
+    SegData,
+    /// `.globl name` — recorded but otherwise ignored (all labels are
+    /// visible in the image's symbol table).
+    Globl(String),
+    /// `.word v, v, …`
+    Word(Vec<i64>),
+    /// `.half v, v, …`
+    Half(Vec<i64>),
+    /// `.byte v, v, …`
+    Byte(Vec<i64>),
+    /// `.space n`
+    Space(u32),
+    /// `.align n` — align to a 2^n boundary.
+    Align(u32),
+    /// `.ascii "…"` / `.asciiz "…"` (bytes include the NUL for asciiz).
+    Bytes(Vec<u8>),
+    /// An instruction or pseudo-instruction.
+    Op { mnemonic: String, operands: Vec<Operand> },
+}
+
+/// One source line after parsing: its labels and optional statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Line {
+    /// 1-based source line number.
+    pub number: usize,
+    /// Labels defined at this line's address.
+    pub labels: Vec<String>,
+    /// The statement, if the line has one.
+    pub stmt: Option<Stmt>,
+}
+
+/// Parses full source text into lines.
+pub fn parse_source(source: &str) -> Result<Vec<Line>, AsmError> {
+    source
+        .lines()
+        .enumerate()
+        .map(|(i, raw)| parse_line(i + 1, raw))
+        .collect()
+}
+
+fn parse_line(number: usize, raw: &str) -> Result<Line, AsmError> {
+    let mut rest = strip_comment(raw).trim();
+    let mut labels = Vec::new();
+    // Consume leading `name:` labels. A colon inside a string can't occur
+    // before the directive keyword, so scanning the prefix is safe.
+    while let Some(colon) = rest.find(':') {
+        let candidate = rest[..colon].trim();
+        if candidate.is_empty() || !is_ident(candidate) {
+            break;
+        }
+        labels.push(candidate.to_owned());
+        rest = rest[colon + 1..].trim();
+    }
+    let stmt = if rest.is_empty() {
+        None
+    } else {
+        Some(parse_stmt(number, rest)?)
+    };
+    Ok(Line {
+        number,
+        labels,
+        stmt,
+    })
+}
+
+/// Removes a trailing `# comment`, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_stmt(number: usize, text: &str) -> Result<Stmt, AsmError> {
+    let (head, tail) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    if let Some(directive) = head.strip_prefix('.') {
+        return parse_directive(number, directive, tail);
+    }
+    let operands = parse_operands(number, tail)?;
+    Ok(Stmt::Op {
+        mnemonic: head.to_ascii_lowercase(),
+        operands,
+    })
+}
+
+fn parse_directive(number: usize, directive: &str, tail: &str) -> Result<Stmt, AsmError> {
+    let int_list = |tail: &str| -> Result<Vec<i64>, AsmError> {
+        split_operands(tail)
+            .into_iter()
+            .map(|tok| {
+                parse_int(&tok)
+                    .ok_or_else(|| AsmError::new(number, format!("invalid integer `{tok}`")))
+            })
+            .collect()
+    };
+    match directive {
+        "text" => Ok(Stmt::SegText),
+        "data" => Ok(Stmt::SegData),
+        "globl" | "global" => Ok(Stmt::Globl(tail.to_owned())),
+        "word" => Ok(Stmt::Word(int_list(tail)?)),
+        "half" => Ok(Stmt::Half(int_list(tail)?)),
+        "byte" => Ok(Stmt::Byte(int_list(tail)?)),
+        "space" => {
+            let n = parse_int(tail)
+                .filter(|&n| (0..=u32::MAX as i64).contains(&n))
+                .ok_or_else(|| AsmError::new(number, format!("invalid .space size `{tail}`")))?;
+            Ok(Stmt::Space(n as u32))
+        }
+        "align" => {
+            let n = parse_int(tail)
+                .filter(|&n| (0..=16).contains(&n))
+                .ok_or_else(|| AsmError::new(number, format!("invalid .align exponent `{tail}`")))?;
+            Ok(Stmt::Align(n as u32))
+        }
+        "ascii" | "asciiz" => {
+            let mut bytes = parse_string(number, tail)?;
+            if directive == "asciiz" {
+                bytes.push(0);
+            }
+            Ok(Stmt::Bytes(bytes))
+        }
+        other => Err(AsmError::new(number, format!("unknown directive `.{other}`"))),
+    }
+}
+
+fn parse_string(number: usize, tok: &str) -> Result<Vec<u8>, AsmError> {
+    let inner = tok
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| AsmError::new(number, format!("expected string literal, found `{tok}`")))?;
+    let mut bytes = Vec::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        let esc = chars
+            .next()
+            .ok_or_else(|| AsmError::new(number, "dangling escape in string"))?;
+        bytes.push(match esc {
+            'n' => b'\n',
+            't' => b'\t',
+            'r' => b'\r',
+            '0' => 0,
+            '\\' => b'\\',
+            '"' => b'"',
+            other => {
+                return Err(AsmError::new(
+                    number,
+                    format!("unknown string escape `\\{other}`"),
+                ))
+            }
+        });
+    }
+    Ok(bytes)
+}
+
+/// Splits `a, b, c` at top-level commas, keeping `off($reg)` intact.
+fn split_operands(tail: &str) -> Vec<String> {
+    if tail.trim().is_empty() {
+        return Vec::new();
+    }
+    tail.split(',').map(|t| t.trim().to_owned()).collect()
+}
+
+fn parse_operands(number: usize, tail: &str) -> Result<Vec<Operand>, AsmError> {
+    split_operands(tail)
+        .into_iter()
+        .map(|tok| parse_operand(number, &tok))
+        .collect()
+}
+
+fn parse_operand(number: usize, tok: &str) -> Result<Operand, AsmError> {
+    if tok.is_empty() {
+        return Err(AsmError::new(number, "empty operand"));
+    }
+    if let Some(open) = tok.find('(') {
+        let close = tok
+            .rfind(')')
+            .ok_or_else(|| AsmError::new(number, format!("unbalanced parens in `{tok}`")))?;
+        let off_text = tok[..open].trim();
+        let off = if off_text.is_empty() {
+            0
+        } else {
+            parse_int(off_text)
+                .ok_or_else(|| AsmError::new(number, format!("invalid offset `{off_text}`")))?
+        };
+        let base: Reg = tok[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|e| AsmError::new(number, format!("{e}")))?;
+        return Ok(Operand::Mem { off, base });
+    }
+    if tok.starts_with('$') {
+        let reg: Reg = tok
+            .parse()
+            .map_err(|e| AsmError::new(number, format!("{e}")))?;
+        return Ok(Operand::Reg(reg));
+    }
+    if let Some(value) = parse_int(tok) {
+        return Ok(Operand::Imm(value));
+    }
+    if is_ident(tok) {
+        return Ok(Operand::Label(tok.to_owned()));
+    }
+    Err(AsmError::new(number, format!("unparseable operand `{tok}`")))
+}
+
+/// Parses decimal, hex (`0x…`), negative and character (`'a'`, `'\n'`)
+/// literals.
+fn parse_int(tok: &str) -> Option<i64> {
+    let tok = tok.trim();
+    if let Some(inner) = tok.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+        return match inner {
+            "\\n" => Some(b'\n' as i64),
+            "\\t" => Some(b'\t' as i64),
+            "\\0" => Some(0),
+            "\\\\" => Some(b'\\' as i64),
+            _ if inner.len() == 1 => Some(inner.as_bytes()[0] as i64),
+            _ => None,
+        };
+    }
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_statement_on_one_line() {
+        let line = parse_line(3, "a: b:  addu $t0, $t1, $t2 # sum").unwrap();
+        assert_eq!(line.labels, vec!["a", "b"]);
+        match line.stmt.unwrap() {
+            Stmt::Op { mnemonic, operands } => {
+                assert_eq!(mnemonic, "addu");
+                assert_eq!(operands.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_only_line_is_empty() {
+        let line = parse_line(1, "   # nothing here").unwrap();
+        assert!(line.labels.is_empty());
+        assert!(line.stmt.is_none());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let line = parse_line(1, r#".asciiz "a#b" # real comment"#).unwrap();
+        assert_eq!(line.stmt.unwrap(), Stmt::Bytes(b"a#b\0".to_vec()));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let op = parse_operand(1, "-8($sp)").unwrap();
+        assert_eq!(
+            op,
+            Operand::Mem {
+                off: -8,
+                base: Reg::SP
+            }
+        );
+        let op = parse_operand(1, "($t0)").unwrap();
+        assert_eq!(
+            op,
+            Operand::Mem {
+                off: 0,
+                base: Reg::T0
+            }
+        );
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("-17"), Some(-17));
+        assert_eq!(parse_int("0xFF"), Some(255));
+        assert_eq!(parse_int("-0x10"), Some(-16));
+        assert_eq!(parse_int("'a'"), Some(97));
+        assert_eq!(parse_int("'\\n'"), Some(10));
+        assert_eq!(parse_int("nope"), None);
+    }
+
+    #[test]
+    fn directive_parsing() {
+        assert_eq!(parse_stmt(1, ".text").unwrap(), Stmt::SegText);
+        assert_eq!(parse_stmt(1, ".word 1, 2, 3").unwrap(), Stmt::Word(vec![1, 2, 3]));
+        assert_eq!(parse_stmt(1, ".space 64").unwrap(), Stmt::Space(64));
+        assert_eq!(parse_stmt(1, ".align 2").unwrap(), Stmt::Align(2));
+        assert!(parse_stmt(1, ".bogus 1").is_err());
+    }
+
+    #[test]
+    fn bad_operands_rejected() {
+        assert!(parse_operand(1, "$nope").is_err());
+        assert!(parse_operand(1, "(t0").is_err());
+        assert!(parse_operand(1, "1+2").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the assembler: disassembly of arbitrary valid
+//! instruction sequences reassembles to the identical binary.
+
+use flexprot_isa::{Image, Inst, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::from_index(i).expect("in range"))
+}
+
+/// A strategy over instructions whose textual form is assembler-parseable
+/// standalone (all of them are, by construction of the disassembler).
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Mul { rd, rs, rt }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Srl { rd, rt, sh }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
+        (r(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lw { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sb { rt, off, base }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Bne { rs, rt, off }),
+        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bgez { rs, off }),
+        (0u32..(1 << 26)).prop_map(|target| Inst::J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Inst::Jal { target }),
+        r().prop_map(|rs| Inst::Jr { rs }),
+        Just(Inst::Syscall),
+    ]
+}
+
+proptest! {
+    /// disassemble ∘ assemble is the identity on text words.
+    #[test]
+    fn disasm_reassembles_identically(insts in prop::collection::vec(arb_inst(), 1..64)) {
+        let image = Image::from_text(insts.iter().map(|i| i.encode()).collect());
+        let disasm = image.disassemble();
+        let reassembled = flexprot_asm::assemble(&disasm)
+            .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{disasm}"));
+        prop_assert_eq!(reassembled.text, image.text);
+    }
+
+    /// Assembling the same source twice is deterministic.
+    #[test]
+    fn assembly_is_deterministic(insts in prop::collection::vec(arb_inst(), 1..32)) {
+        let image = Image::from_text(insts.iter().map(|i| i.encode()).collect());
+        let disasm = image.disassemble();
+        let a = flexprot_asm::assemble(&disasm).expect("first");
+        let b = flexprot_asm::assemble(&disasm).expect("second");
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Data directives lay out exactly the bytes the reference computes.
+    #[test]
+    fn word_directive_little_endian(values in prop::collection::vec(any::<i32>(), 1..16)) {
+        let list = values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let src = format!(".data\nd: .word {list}\n.text\nmain: nop\n");
+        let image = flexprot_asm::assemble(&src).expect("assemble");
+        let mut expected = Vec::new();
+        for v in &values {
+            expected.extend_from_slice(&(*v as u32).to_le_bytes());
+        }
+        prop_assert_eq!(image.data, expected);
+    }
+}

@@ -1,0 +1,330 @@
+//! The attack families: randomized binary mutations.
+
+use flexprot_isa::{Image, Inst, Reg};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A family of tamper attacks on the shipped text segment.
+///
+/// All attacks are *static* patches — the realistic MATE scenario of
+/// editing the binary on disk. The attacker sees the final image (possibly
+/// ciphertext) but not keys or the monitor schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attack {
+    /// Flip one random bit of one random text word.
+    BitFlip,
+    /// Replace one random word with a random *valid* instruction
+    /// (meaningful against plaintext; against ciphertext it decrypts to
+    /// noise like any other patch).
+    InstrSub,
+    /// Overwrite a short run of words with NOPs (classic check removal).
+    NopOut,
+    /// Overwrite a run of words with an attacker payload that forces an
+    /// early clean-looking exit (classic license-check bypass).
+    CodeInject,
+    /// Invert the polarity of one conditional branch (`beq`↔`bne`, …).
+    /// Falls back to a bit flip when the chosen word is not a branch
+    /// (e.g. under encryption the attacker cannot even find branches).
+    BranchFlip,
+    /// Copy one aligned 8-word chunk of text over another (splice/replay).
+    Replay,
+    /// Heuristic guard stripping: NOP every run of ≥ 4 consecutive
+    /// instructions that write `$zero` (the visible signature of guard
+    /// sequences in plaintext binaries).
+    GuardStrip,
+}
+
+impl Attack {
+    /// All attack families, in T3 row order.
+    pub fn all() -> [Attack; 7] {
+        [
+            Attack::BitFlip,
+            Attack::InstrSub,
+            Attack::NopOut,
+            Attack::CodeInject,
+            Attack::BranchFlip,
+            Attack::Replay,
+            Attack::GuardStrip,
+        ]
+    }
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Attack::BitFlip => "bit-flip",
+            Attack::InstrSub => "instr-sub",
+            Attack::NopOut => "nop-out",
+            Attack::CodeInject => "code-inject",
+            Attack::BranchFlip => "branch-flip",
+            Attack::Replay => "replay",
+            Attack::GuardStrip => "guard-strip",
+        }
+    }
+
+    /// Applies one randomized instance of the attack to `image`.
+    ///
+    /// Returns `false` when the attack found no applicable site (e.g.
+    /// guard stripping on an unguarded binary) and left the image
+    /// untouched.
+    pub fn apply(self, image: &mut Image, rng: &mut StdRng) -> bool {
+        let len = image.text.len();
+        if len == 0 {
+            return false;
+        }
+        match self {
+            Attack::BitFlip => {
+                let index = rng.gen_range(0..len);
+                image.text[index] ^= 1 << rng.gen_range(0..32);
+                true
+            }
+            Attack::InstrSub => {
+                let index = rng.gen_range(0..len);
+                image.text[index] = random_valid_inst(rng).encode();
+                true
+            }
+            Attack::NopOut => {
+                let run = rng.gen_range(1..=4.min(len));
+                let index = rng.gen_range(0..=len - run);
+                for w in &mut image.text[index..index + run] {
+                    *w = Inst::NOP.encode();
+                }
+                true
+            }
+            Attack::CodeInject => {
+                // Payload: v0 = 17 (exit-with-code); a0 = 0; syscall —
+                // makes the program "succeed" early with empty output.
+                let payload = [
+                    Inst::Addi {
+                        rt: Reg::V0,
+                        rs: Reg::ZERO,
+                        imm: 17,
+                    },
+                    Inst::Addi {
+                        rt: Reg::A0,
+                        rs: Reg::ZERO,
+                        imm: 0,
+                    },
+                    Inst::Syscall,
+                ];
+                if len < payload.len() {
+                    return false;
+                }
+                let index = rng.gen_range(0..=len - payload.len());
+                for (k, inst) in payload.iter().enumerate() {
+                    image.text[index + k] = inst.encode();
+                }
+                true
+            }
+            Attack::BranchFlip => {
+                let index = rng.gen_range(0..len);
+                let word = image.text[index];
+                let flipped = match Inst::decode(word) {
+                    Ok(Inst::Beq { rs, rt, off }) => Some(Inst::Bne { rs, rt, off }),
+                    Ok(Inst::Bne { rs, rt, off }) => Some(Inst::Beq { rs, rt, off }),
+                    Ok(Inst::Blez { rs, off }) => Some(Inst::Bgtz { rs, off }),
+                    Ok(Inst::Bgtz { rs, off }) => Some(Inst::Blez { rs, off }),
+                    Ok(Inst::Bltz { rs, off }) => Some(Inst::Bgez { rs, off }),
+                    Ok(Inst::Bgez { rs, off }) => Some(Inst::Bltz { rs, off }),
+                    _ => None,
+                };
+                match flipped {
+                    Some(inst) => image.text[index] = inst.encode(),
+                    None => image.text[index] ^= 1 << rng.gen_range(0..32),
+                }
+                true
+            }
+            Attack::Replay => {
+                const CHUNK: usize = 8;
+                if len < 2 * CHUNK {
+                    return false;
+                }
+                let chunks = len / CHUNK;
+                let from = rng.gen_range(0..chunks);
+                let mut to = rng.gen_range(0..chunks);
+                while to == from {
+                    to = rng.gen_range(0..chunks);
+                }
+                let src: Vec<u32> = image.text[from * CHUNK..(from + 1) * CHUNK].to_vec();
+                image.text[to * CHUNK..(to + 1) * CHUNK].copy_from_slice(&src);
+                true
+            }
+            Attack::GuardStrip => {
+                let mut stripped = false;
+                let mut run_start = None;
+                let mut i = 0;
+                while i <= len {
+                    let is_guardish = i < len && writes_zero(image.text[i]);
+                    match (is_guardish, run_start) {
+                        (true, None) => run_start = Some(i),
+                        (false, Some(start)) => {
+                            if i - start >= 4 {
+                                for w in &mut image.text[start..i] {
+                                    *w = Inst::NOP.encode();
+                                }
+                                stripped = true;
+                            }
+                            run_start = None;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                stripped
+            }
+        }
+    }
+}
+
+/// True when the word decodes to an R-type ALU instruction with `rd ==
+/// $zero` — the attacker's heuristic signature of a guard symbol.
+fn writes_zero(word: u32) -> bool {
+    match Inst::decode(word) {
+        Ok(inst) if inst != Inst::NOP => {
+            inst.def() == Some(Reg::ZERO) && !inst.is_control_transfer()
+        }
+        _ => false,
+    }
+}
+
+/// A random, valid, non-control instruction.
+fn random_valid_inst(rng: &mut StdRng) -> Inst {
+    let rd = Reg::from_bits(rng.gen_range(0..32));
+    let rs = Reg::from_bits(rng.gen_range(0..32));
+    let rt = Reg::from_bits(rng.gen_range(0..32));
+    let imm: i16 = rng.gen();
+    match rng.gen_range(0..6) {
+        0 => Inst::Addu { rd, rs, rt },
+        1 => Inst::Xor { rd, rs, rt },
+        2 => Inst::Addi { rt, rs, imm },
+        3 => Inst::Ori {
+            rt,
+            rs,
+            imm: imm as u16,
+        },
+        4 => Inst::Sll {
+            rd,
+            rt,
+            sh: rng.gen_range(0..32),
+        },
+        _ => Inst::Sub { rd, rs, rt },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_image() -> Image {
+        flexprot_asm::assemble_or_panic(
+            r#"
+main:   li   $t0, 10
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        syscall
+"#,
+        )
+    }
+
+    #[test]
+    fn every_attack_mutates_or_reports_inapplicable() {
+        for attack in Attack::all() {
+            let mut rng = StdRng::seed_from_u64(42);
+            let original = sample_image();
+            let mut image = original.clone();
+            let applied = attack.apply(&mut image, &mut rng);
+            if applied && attack != Attack::GuardStrip {
+                assert_ne!(image.text, original.text, "{} did nothing", attack.name());
+            }
+            if !applied {
+                assert_eq!(image.text, original.text);
+            }
+        }
+    }
+
+    #[test]
+    fn bitflip_changes_exactly_one_bit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let original = sample_image();
+        let mut image = original.clone();
+        assert!(Attack::BitFlip.apply(&mut image, &mut rng));
+        let diff: u32 = original
+            .text
+            .iter()
+            .zip(&image.text)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn branch_flip_inverts_polarity() {
+        let image = sample_image();
+        let bgtz_index = image
+            .text
+            .iter()
+            .position(|&w| matches!(Inst::decode(w), Ok(Inst::Bgtz { .. })))
+            .expect("sample has a bgtz");
+        // Try seeds until the branch word is picked; each hit must invert.
+        let mut inverted = false;
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut mutated = image.clone();
+            Attack::BranchFlip.apply(&mut mutated, &mut rng);
+            if let Ok(Inst::Blez { .. }) = Inst::decode(mutated.text[bgtz_index]) {
+                inverted = true;
+                break;
+            }
+        }
+        assert!(inverted, "branch flip never hit the branch in 200 seeds");
+    }
+
+    #[test]
+    fn guard_strip_noop_on_unguarded_binary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut image = sample_image();
+        assert!(!Attack::GuardStrip.apply(&mut image, &mut rng));
+    }
+
+    #[test]
+    fn guard_strip_removes_guard_runs() {
+        use flexprot_core::{insert_guards, GuardConfig};
+        let out = insert_guards(&sample_image(), &GuardConfig::with_density(1.0), None).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut image = out.image.clone();
+        assert!(Attack::GuardStrip.apply(&mut image, &mut rng));
+        // Every guard site must now be NOPs.
+        for &site in out.sites.keys() {
+            let idx = image.text_index_of(site).unwrap();
+            for k in 0..4 {
+                assert_eq!(image.text[idx + k], Inst::NOP.encode(), "site {site:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_copies_a_chunk() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Need >= 16 words.
+        let mut src = "main:\n".to_owned();
+        for i in 1..=20 {
+            src.push_str(&format!("        addi $t0, $t0, {i}\n"));
+        }
+        src.push_str("        syscall\n");
+        let mut image = flexprot_asm::assemble_or_panic(&src);
+        let before = image.text.clone();
+        assert!(Attack::Replay.apply(&mut image, &mut rng));
+        assert_ne!(before, image.text);
+        assert_eq!(before.len(), image.text.len());
+    }
+
+    #[test]
+    fn random_valid_instructions_decode() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let inst = random_valid_inst(&mut rng);
+            assert_eq!(Inst::decode(inst.encode()), Ok(inst));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The detection-coverage evaluation harness.
+
+use flexprot_core::Protected;
+use flexprot_sim::{Outcome, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::attacks::Attack;
+
+/// Classification of one attacked run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// The monitor raised a tamper event after this many committed
+    /// instructions (the detection latency).
+    Detected { latency_instrs: u64 },
+    /// Execution faulted (illegal instruction, wild pc, …).
+    Faulted,
+    /// The program completed but its output or exit code changed: a
+    /// successful, unnoticed tamper.
+    WrongOutput,
+    /// Output unchanged — the mutation was semantically inert.
+    Benign,
+    /// The fuel limit expired.
+    Timeout,
+    /// The attack found no applicable site in this binary.
+    Inapplicable,
+}
+
+/// Aggregated results of many randomized trials of one attack family.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttackSummary {
+    /// Trials whose mutation actually applied.
+    pub applied: u32,
+    /// Monitor detections.
+    pub detected: u32,
+    /// Execution faults.
+    pub faulted: u32,
+    /// Unnoticed semantic corruption — attacker success.
+    pub wrong_output: u32,
+    /// Semantically inert mutations.
+    pub benign: u32,
+    /// Fuel exhaustion.
+    pub timeout: u32,
+    /// Sum of detection latencies (instructions), for averaging.
+    pub latency_sum: u64,
+    /// Individual detection latencies (instructions), for percentiles.
+    pub latencies: Vec<u64>,
+}
+
+impl AttackSummary {
+    /// Fraction of *effective* tampers (those that were not benign) that
+    /// the system caught, counting monitor detections and hard faults.
+    ///
+    /// Returns 1.0 when no tamper had any effect (nothing to catch).
+    pub fn detection_rate(&self) -> f64 {
+        let effective = self.detected + self.faulted + self.wrong_output + self.timeout;
+        if effective == 0 {
+            1.0
+        } else {
+            f64::from(self.detected + self.faulted) / f64::from(effective)
+        }
+    }
+
+    /// Fraction of applied trials where the attacker won outright.
+    pub fn attacker_success_rate(&self) -> f64 {
+        if self.applied == 0 {
+            0.0
+        } else {
+            f64::from(self.wrong_output) / f64::from(self.applied)
+        }
+    }
+
+    /// Mean detection latency in instructions; `None` without detections.
+    pub fn mean_latency(&self) -> Option<f64> {
+        (self.detected > 0).then(|| self.latency_sum as f64 / f64::from(self.detected))
+    }
+
+    /// The `q`-quantile (0.0–1.0, nearest-rank) of detection latencies;
+    /// `None` without detections.
+    pub fn latency_quantile(&self, q: f64) -> Option<u64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64) * q).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
+    /// Merges another summary into this one (for cross-workload
+    /// aggregation).
+    pub fn merge(&mut self, other: &AttackSummary) {
+        self.applied += other.applied;
+        self.detected += other.detected;
+        self.faulted += other.faulted;
+        self.wrong_output += other.wrong_output;
+        self.benign += other.benign;
+        self.timeout += other.timeout;
+        self.latency_sum += other.latency_sum;
+        self.latencies.extend_from_slice(&other.latencies);
+    }
+
+    fn record(&mut self, outcome: TrialOutcome) {
+        if outcome != TrialOutcome::Inapplicable {
+            self.applied += 1;
+        }
+        match outcome {
+            TrialOutcome::Detected { latency_instrs } => {
+                self.detected += 1;
+                self.latency_sum += latency_instrs;
+                self.latencies.push(latency_instrs);
+            }
+            TrialOutcome::Faulted => self.faulted += 1,
+            TrialOutcome::WrongOutput => self.wrong_output += 1,
+            TrialOutcome::Benign => self.benign += 1,
+            TrialOutcome::Timeout => self.timeout += 1,
+            TrialOutcome::Inapplicable => {}
+        }
+    }
+}
+
+/// Runs one attacked trial.
+pub fn run_trial(
+    protected: &Protected,
+    expected_output: &str,
+    attack: Attack,
+    rng: &mut StdRng,
+    sim: &SimConfig,
+) -> TrialOutcome {
+    let mut mutated = protected.clone();
+    if !attack.apply(&mut mutated.image, rng) {
+        return TrialOutcome::Inapplicable;
+    }
+    let result = mutated.run(sim.clone());
+    match result.outcome {
+        Outcome::TamperDetected(_) => TrialOutcome::Detected {
+            latency_instrs: result.stats.instructions,
+        },
+        Outcome::Fault(_) => TrialOutcome::Faulted,
+        Outcome::OutOfFuel => TrialOutcome::Timeout,
+        Outcome::Exit(0) if result.output == expected_output => TrialOutcome::Benign,
+        Outcome::Exit(_) => TrialOutcome::WrongOutput,
+    }
+}
+
+/// Runs `trials` randomized instances of `attack` and aggregates them.
+///
+/// The fuel limit in `sim` should be modest (attacked binaries can loop);
+/// a few times the baseline instruction count works well.
+pub fn evaluate(
+    protected: &Protected,
+    expected_output: &str,
+    attack: Attack,
+    trials: u32,
+    seed: u64,
+    sim: &SimConfig,
+) -> AttackSummary {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut summary = AttackSummary::default();
+    for _ in 0..trials {
+        summary.record(run_trial(protected, expected_output, attack, &mut rng, sim));
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexprot_core::{protect, EncryptConfig, GuardConfig, ProtectionConfig};
+    use flexprot_sim::Machine;
+
+    fn sample() -> (flexprot_isa::Image, String) {
+        let image = flexprot_asm::assemble_or_panic(
+            r#"
+main:   li   $s0, 0
+        li   $t0, 20
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#,
+        );
+        let r = Machine::new(&image, SimConfig::default()).run();
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        (image, r.output)
+    }
+
+    fn fast_sim() -> SimConfig {
+        SimConfig {
+            max_instructions: 100_000,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn unprotected_binary_lets_attacks_through() {
+        let (image, expected) = sample();
+        let unprotected = protect(&image, &ProtectionConfig::new(), None).unwrap();
+        let summary = evaluate(
+            &unprotected,
+            &expected,
+            Attack::BranchFlip,
+            40,
+            7,
+            &fast_sim(),
+        );
+        assert_eq!(summary.detected, 0, "no monitor, no detections");
+        assert!(
+            summary.wrong_output > 0,
+            "branch flips must corrupt semantics sometimes: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_binary_detects_bitflips() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let summary = evaluate(&protected, &expected, Attack::BitFlip, 40, 7, &fast_sim());
+        assert!(
+            summary.detected > 0,
+            "full-density guards must detect some flips: {summary:?}"
+        );
+        assert!(summary.detection_rate() > 0.5, "{summary:?}");
+        assert!(summary.mean_latency().is_some());
+    }
+
+    #[test]
+    fn encrypted_binary_turns_patches_into_garbage() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig::with_density(1.0))
+            .with_encryption(EncryptConfig::whole_program(0xC0DE));
+        let protected = protect(&image, &config, None).unwrap();
+        let summary = evaluate(&protected, &expected, Attack::CodeInject, 30, 11, &fast_sim());
+        // The attacker's plaintext payload decrypts to junk: never a clean
+        // wrong-output win.
+        assert_eq!(
+            summary.wrong_output, 0,
+            "injection into ciphertext must not succeed cleanly: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn code_inject_succeeds_on_unprotected_plaintext() {
+        let (image, expected) = sample();
+        let unprotected = protect(&image, &ProtectionConfig::new(), None).unwrap();
+        let summary = evaluate(
+            &unprotected,
+            &expected,
+            Attack::CodeInject,
+            30,
+            11,
+            &fast_sim(),
+        );
+        assert!(
+            summary.wrong_output > 0,
+            "payload injection must work on unprotected code: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let mut s = AttackSummary::default();
+        for latency in [10u64, 20, 30, 40, 50] {
+            s.record(TrialOutcome::Detected { latency_instrs: latency });
+        }
+        assert_eq!(s.latency_quantile(0.0), Some(10));
+        assert_eq!(s.latency_quantile(0.5), Some(30));
+        assert_eq!(s.latency_quantile(1.0), Some(50));
+        assert_eq!(AttackSummary::default().latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AttackSummary::default();
+        a.record(TrialOutcome::Detected { latency_instrs: 5 });
+        let mut b = AttackSummary::default();
+        b.record(TrialOutcome::WrongOutput);
+        b.record(TrialOutcome::Benign);
+        a.merge(&b);
+        assert_eq!(a.applied, 3);
+        assert_eq!(a.detected, 1);
+        assert_eq!(a.wrong_output, 1);
+        assert_eq!(a.benign, 1);
+    }
+
+    #[test]
+    fn summary_rates_are_consistent() {
+        let mut s = AttackSummary::default();
+        s.record(TrialOutcome::Detected { latency_instrs: 10 });
+        s.record(TrialOutcome::Detected { latency_instrs: 30 });
+        s.record(TrialOutcome::WrongOutput);
+        s.record(TrialOutcome::Benign);
+        s.record(TrialOutcome::Inapplicable);
+        assert_eq!(s.applied, 4);
+        assert_eq!(s.detection_rate(), 2.0 / 3.0);
+        assert_eq!(s.attacker_success_rate(), 0.25);
+        assert_eq!(s.mean_latency(), Some(20.0));
+    }
+
+    #[test]
+    fn all_benign_counts_as_full_detection() {
+        let mut s = AttackSummary::default();
+        s.record(TrialOutcome::Benign);
+        assert_eq!(s.detection_rate(), 1.0);
+        assert_eq!(s.mean_latency(), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Regenerates every table and figure of the evaluation.
+//!
+//! ```text
+//! cargo run --release -p flexprot-bench --bin experiments [-- OPTIONS]
+//!
+//! Options:
+//!   --quick        reduced workloads/trials (CI smoke run)
+//!   --only <ID>    run a single experiment (T1..T6, F1..F6)
+//!   --csv <DIR>    additionally write one CSV per table into DIR
+//! ```
+
+use std::io::Write;
+
+use flexprot_bench::{Params, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut only: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--only" => {
+                i += 1;
+                only = args.get(i).cloned();
+                if only.is_none() {
+                    eprintln!("--only requires an experiment id");
+                    std::process::exit(2);
+                }
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = args.get(i).cloned();
+                if csv_dir.is_none() {
+                    eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let params = Params { quick };
+    type Runner = fn(&Params) -> Table;
+    let experiments: Vec<(&str, Runner)> = vec![
+        ("T1", flexprot_bench::t1_characterize as Runner),
+        ("T2", flexprot_bench::t2_size_overhead),
+        ("F1", flexprot_bench::f1_guard_density),
+        ("F2", flexprot_bench::f2_decrypt_latency),
+        ("F3", flexprot_bench::f3_icache_sweep),
+        ("T3", flexprot_bench::t3_detection),
+        ("F4", flexprot_bench::f4_pareto),
+        ("T4", flexprot_bench::t4_placement),
+        ("F5", flexprot_bench::f5_estimator),
+        ("T5", flexprot_bench::t5_diversity),
+        ("T6", flexprot_bench::t6_stealth),
+        ("F6", flexprot_bench::f6_latency),
+    ];
+
+    for (id, run) in experiments {
+        if let Some(ref filter) = only {
+            if !filter.eq_ignore_ascii_case(id) {
+                continue;
+            }
+        }
+        let start = std::time::Instant::now();
+        let table = run(&params);
+        println!("{table}");
+        println!("({id} finished in {:.1}s)\n", start.elapsed().as_secs_f64());
+        if let Some(ref dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}.csv", id.to_lowercase());
+            let mut file = std::fs::File::create(&path).expect("create csv");
+            file.write_all(table.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,757 @@
+//! Experiment runners for every table and figure of the evaluation.
+//!
+//! Each `tN_*`/`fN_*` function regenerates one artifact of the
+//! reconstructed DATE-2004 evaluation (see `DESIGN.md` for the index and
+//! `EXPERIMENTS.md` for recorded results):
+//!
+//! | id | artifact |
+//! |----|----------|
+//! | T1 | workload characterization |
+//! | T2 | static code-size overhead vs guard density |
+//! | F1 | runtime overhead vs guard density |
+//! | F2 | runtime overhead vs decrypt latency (serial/pipelined) |
+//! | F3 | runtime overhead vs I-cache size |
+//! | T3 | tamper-detection coverage matrix |
+//! | F4 | flexibility Pareto: coverage vs overhead budget |
+//! | T4 | placement-policy ablation |
+//! | F5 | estimator accuracy |
+//! | T5 | re-protection diversity |
+//! | T6 | static stealth metrics |
+//! | F6 | detection-latency distribution |
+//!
+//! Run them all with `cargo run --release -p flexprot-bench --bin
+//! experiments` (add `--quick` for a fast subset).
+
+pub mod table;
+
+use flexprot_attack::{evaluate, Attack};
+use flexprot_core::{
+    optimize, protect, EncryptConfig, GuardConfig, OptimizerConfig, Placement,
+    Profile, ProtectionConfig, Protected, Selection,
+};
+use flexprot_isa::Image;
+use flexprot_secmon::DecryptModel;
+use flexprot_sim::{CacheConfig, Machine, Outcome, RunResult, SimConfig};
+use flexprot_workloads::Workload;
+
+pub use table::Table;
+
+/// Master keys used across experiments (fixed for reproducibility).
+pub const GUARD_KEY: u64 = 0x0BAD_C0DE_CAFE_F00D;
+/// Encryption master key.
+pub const ENC_KEY: u64 = 0x5EED_5EED_5EED_5EED;
+
+/// Global experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Reduced workload set and trial counts for smoke runs.
+    pub quick: bool,
+}
+
+impl Params {
+    /// The workloads an experiment iterates over.
+    pub fn workloads(&self) -> Vec<Workload> {
+        let all = flexprot_workloads::all();
+        if self.quick {
+            all.into_iter()
+                .filter(|w| matches!(w.name, "rle" | "qsort" | "dijkstra"))
+                .collect()
+        } else {
+            all
+        }
+    }
+
+    /// Lighter-weight kernels used for the attack matrix (many trials).
+    pub fn attack_workloads(&self) -> Vec<Workload> {
+        let names: &[&str] = if self.quick {
+            &["rle"]
+        } else {
+            &["rle", "strsearch", "adpcm"]
+        };
+        flexprot_workloads::all()
+            .into_iter()
+            .filter(|w| names.contains(&w.name))
+            .collect()
+    }
+
+    /// Guard densities swept in T2/F1.
+    pub fn densities(&self) -> Vec<f64> {
+        if self.quick {
+            vec![0.25, 1.0]
+        } else {
+            vec![0.1, 0.25, 0.5, 0.75, 1.0]
+        }
+    }
+
+    /// Attack trials per (workload, config, attack) cell in T3.
+    pub fn trials(&self) -> u32 {
+        if self.quick {
+            6
+        } else {
+            20
+        }
+    }
+}
+
+/// A workload's baseline artifacts, shared by several experiments.
+pub struct Baseline {
+    /// The unprotected image.
+    pub image: Image,
+    /// Its clean run under `sim`.
+    pub run: RunResult,
+    /// Its execution profile.
+    pub profile: Profile,
+}
+
+/// Runs the unprotected baseline with profiling.
+///
+/// # Panics
+///
+/// Panics when the workload does not exit cleanly with its reference
+/// output — the substrate would be broken.
+pub fn baseline(workload: &Workload, sim: &SimConfig) -> Baseline {
+    let image = workload.image();
+    let (profile, run) = Profile::collect(&image, sim);
+    assert_eq!(run.outcome, Outcome::Exit(0), "{} crashed", workload.name);
+    assert_eq!(
+        run.output,
+        workload.expected_output(),
+        "{} output mismatch",
+        workload.name
+    );
+    Baseline {
+        image,
+        run,
+        profile,
+    }
+}
+
+/// Relative overhead in percent.
+pub fn overhead_pct(base_cycles: u64, cycles: u64) -> f64 {
+    (cycles as f64 - base_cycles as f64) / base_cycles as f64 * 100.0
+}
+
+fn fmt_pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Protects and runs, asserting semantic preservation.
+fn run_protected(
+    workload: &Workload,
+    protected: &Protected,
+    sim: &SimConfig,
+) -> RunResult {
+    let result = protected.run(sim.clone());
+    assert_eq!(
+        result.outcome,
+        Outcome::Exit(0),
+        "{} failed under protection",
+        workload.name
+    );
+    assert_eq!(
+        result.output,
+        workload.expected_output(),
+        "{} output corrupted by protection",
+        workload.name
+    );
+    result
+}
+
+fn guard_config(density: f64, placement: Placement) -> GuardConfig {
+    GuardConfig {
+        key: GUARD_KEY,
+        seed: 7,
+        placement,
+        selection: Selection::Density(density),
+        enforce_spacing: true,
+    }
+}
+
+/// T1 — workload characterization.
+pub fn t1_characterize(params: &Params) -> Table {
+    let sim = SimConfig::default();
+    let mut table = Table::new(
+        "T1",
+        "Workload characterization (baseline, default caches)",
+        &[
+            "workload", "text-words", "data-bytes", "dyn-instrs", "cycles", "CPI",
+            "icache-miss%", "dcache-miss%",
+        ],
+    );
+    for w in params.workloads() {
+        let b = baseline(&w, &sim);
+        table.push(vec![
+            w.name.to_owned(),
+            b.image.text.len().to_string(),
+            b.image.data.len().to_string(),
+            b.run.stats.instructions.to_string(),
+            b.run.stats.cycles.to_string(),
+            format!("{:.3}", b.run.stats.cpi()),
+            format!("{:.3}", b.run.stats.icache_miss_rate() * 100.0),
+            format!("{:.3}", b.run.stats.dcache_miss_rate() * 100.0),
+        ]);
+    }
+    table
+}
+
+/// T2 — static code-size overhead vs guard density.
+pub fn t2_size_overhead(params: &Params) -> Table {
+    let mut headers = vec!["workload".to_owned(), "words".to_owned()];
+    for d in params.densities() {
+        headers.push(format!("+%@d={d}"));
+    }
+    let mut table = Table::with_headers(
+        "T2",
+        "Static code-size overhead (%) vs guard density",
+        headers,
+    );
+    for w in params.workloads() {
+        let image = w.image();
+        let mut row = vec![w.name.to_owned(), image.text.len().to_string()];
+        for d in params.densities() {
+            let config =
+                ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
+            let protected = protect(&image, &config, None).expect("protect");
+            row.push(fmt_pct(
+                protected.report.size_overhead_fraction() * 100.0,
+            ));
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// F1 — runtime overhead vs guard density.
+pub fn f1_guard_density(params: &Params) -> Table {
+    let sim = SimConfig::default();
+    let mut headers = vec!["workload".to_owned()];
+    for d in params.densities() {
+        headers.push(format!("+%@d={d}"));
+    }
+    let mut table = Table::with_headers(
+        "F1",
+        "Runtime overhead (%) vs guard density (guards only, uniform placement)",
+        headers,
+    );
+    for w in params.workloads() {
+        let b = baseline(&w, &sim);
+        let mut row = vec![w.name.to_owned()];
+        for d in params.densities() {
+            let config =
+                ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
+            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
+            let r = run_protected(&w, &protected, &sim);
+            row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// F2 — runtime overhead vs decrypt latency (whole-program encryption).
+pub fn f2_decrypt_latency(params: &Params) -> Table {
+    let sim = SimConfig::default();
+    let cpws: &[u64] = if params.quick { &[2, 8] } else { &[0, 1, 2, 4, 8] };
+    let mut headers = vec!["workload".to_owned()];
+    for &c in cpws {
+        headers.push(format!("serial@{c}"));
+        headers.push(format!("pipe@{c}"));
+    }
+    let mut table = Table::with_headers(
+        "F2",
+        "Runtime overhead (%) vs decrypt cycles/word (whole-program encryption)",
+        headers,
+    );
+    for w in params.workloads() {
+        let b = baseline(&w, &sim);
+        let mut row = vec![w.name.to_owned()];
+        for &cpw in cpws {
+            for pipelined in [false, true] {
+                let model = DecryptModel {
+                    cycles_per_word: cpw,
+                    startup: 4,
+                    pipelined,
+                };
+                let enc = EncryptConfig {
+                    model,
+                    ..EncryptConfig::whole_program(ENC_KEY)
+                };
+                let config = ProtectionConfig::new().with_encryption(enc);
+                let protected = protect(&b.image, &config, None).expect("protect");
+                let r = run_protected(&w, &protected, &sim);
+                row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
+            }
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// F3 — runtime overhead of encryption vs I-cache size.
+pub fn f3_icache_sweep(params: &Params) -> Table {
+    let sizes: &[u32] = if params.quick {
+        &[256, 4096]
+    } else {
+        &[128, 256, 512, 1024, 2048, 4096, 8192]
+    };
+    let mut headers = vec!["workload".to_owned()];
+    for &s in sizes {
+        headers.push(format!("+%@{s}B"));
+        headers.push(format!("miss%@{s}B"));
+    }
+    let mut table = Table::with_headers(
+        "F3",
+        "Encryption overhead (%) and baseline miss rate vs I-cache size",
+        headers,
+    );
+    for w in params.workloads() {
+        let mut row = vec![w.name.to_owned()];
+        for &size in sizes {
+            let sim = SimConfig {
+                icache: CacheConfig {
+                    size_bytes: size,
+                    line_bytes: 32,
+                    ways: 2,
+                },
+                ..SimConfig::default()
+            };
+            let b = baseline(&w, &sim);
+            let config = ProtectionConfig::new()
+                .with_encryption(EncryptConfig::whole_program(ENC_KEY));
+            let protected = protect(&b.image, &config, None).expect("protect");
+            let r = run_protected(&w, &protected, &sim);
+            row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
+            row.push(format!("{:.3}", b.run.stats.icache_miss_rate() * 100.0));
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// The four protection configurations of the T3 matrix.
+pub fn t3_configs() -> Vec<(&'static str, ProtectionConfig)> {
+    vec![
+        ("none", ProtectionConfig::new()),
+        (
+            "guards",
+            ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform)),
+        ),
+        (
+            "enc",
+            ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY)),
+        ),
+        (
+            "guards+enc",
+            ProtectionConfig::new()
+                .with_guards(guard_config(1.0, Placement::Uniform))
+                .with_encryption(EncryptConfig::whole_program(ENC_KEY)),
+        ),
+    ]
+}
+
+/// T3 — tamper-detection coverage matrix.
+pub fn t3_detection(params: &Params) -> Table {
+    let mut table = Table::new(
+        "T3",
+        "Tamper-detection coverage (aggregated over attack workloads)",
+        &[
+            "config", "attack", "applied", "detected", "faulted", "wrong-out", "benign",
+            "det-rate%", "atk-success%", "mean-latency",
+        ],
+    );
+    for (config_name, config) in t3_configs() {
+        for attack in Attack::all() {
+            let mut agg = flexprot_attack::AttackSummary::default();
+            for w in params.attack_workloads() {
+                let image = w.image();
+                let base = Machine::new(&image, SimConfig::default()).run();
+                let protected = protect(&image, &config, None).expect("protect");
+                let sim = SimConfig {
+                    max_instructions: base.stats.instructions * 4 + 10_000,
+                    ..SimConfig::default()
+                };
+                let s = evaluate(
+                    &protected,
+                    &w.expected_output(),
+                    attack,
+                    params.trials(),
+                    0xA77A_C4E5,
+                    &sim,
+                );
+                agg.merge(&s);
+            }
+            table.push(vec![
+                config_name.to_owned(),
+                attack.name().to_owned(),
+                agg.applied.to_string(),
+                agg.detected.to_string(),
+                agg.faulted.to_string(),
+                agg.wrong_output.to_string(),
+                agg.benign.to_string(),
+                fmt_pct(agg.detection_rate() * 100.0),
+                fmt_pct(agg.attacker_success_rate() * 100.0),
+                agg.mean_latency()
+                    .map_or_else(|| "-".to_owned(), |l| format!("{l:.0}")),
+            ]);
+        }
+    }
+    table
+}
+
+/// F4 — the flexibility Pareto frontier: coverage vs overhead budget.
+pub fn f4_pareto(params: &Params) -> Table {
+    let sim = SimConfig::default();
+    let budgets: &[f64] = if params.quick {
+        &[0.02, 0.2]
+    } else {
+        &[0.01, 0.02, 0.05, 0.1, 0.2, 0.5]
+    };
+    let mut table = Table::new(
+        "F4",
+        "Profile-guided budget optimizer: coverage vs measured overhead",
+        &[
+            "workload", "budget%", "coverage", "est+%", "measured+%", "guards", "enc-fns",
+        ],
+    );
+    for w in params.workloads() {
+        let b = baseline(&w, &sim);
+        let cfg = flexprot_core::Cfg::recover(&b.image).expect("cfg");
+        for &budget in budgets {
+            let opt = OptimizerConfig {
+                budget_fraction: budget,
+                ..OptimizerConfig::default()
+            };
+            let plan = optimize(&b.image, &cfg, &b.profile, &opt);
+            // The optimizer costs exactly the policy selection, so the
+            // spacing-enforcement extras (which it cannot see) are disabled
+            // here; signature checks alone carry the integrity story.
+            let config = ProtectionConfig::from_plan(
+                &plan,
+                GuardConfig {
+                    enforce_spacing: false,
+                    ..guard_config(0.0, Placement::ColdestFirst)
+                },
+                EncryptConfig::whole_program(ENC_KEY),
+            );
+            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
+            let r = run_protected(&w, &protected, &sim);
+            let enc_fns = plan.functions.values().filter(|f| f.encrypt).count();
+            table.push(vec![
+                w.name.to_owned(),
+                fmt_pct(budget * 100.0),
+                format!("{:.3}", plan.coverage),
+                fmt_pct(plan.est_extra_cycles as f64 / b.run.stats.cycles as f64 * 100.0),
+                fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)),
+                protected.report.guards_inserted.to_string(),
+                enc_fns.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// T4 — placement-policy ablation at matched density.
+pub fn t4_placement(params: &Params) -> Table {
+    let sim = SimConfig::default();
+    let density = 0.3;
+    let policies = [
+        ("uniform", Placement::Uniform),
+        ("random", Placement::Random),
+        ("coldest", Placement::ColdestFirst),
+        ("loop-hdr", Placement::LoopHeaders),
+    ];
+    let mut headers = vec!["workload".to_owned()];
+    for (name, _) in policies {
+        headers.push(format!("+%{name}"));
+    }
+    let mut table = Table::with_headers(
+        "T4",
+        "Runtime overhead (%) by placement policy (density 0.3)",
+        headers,
+    );
+    for w in params.workloads() {
+        let b = baseline(&w, &sim);
+        let mut row = vec![w.name.to_owned()];
+        for (_, placement) in policies {
+            let config =
+                ProtectionConfig::new().with_guards(guard_config(density, placement));
+            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
+            let r = run_protected(&w, &protected, &sim);
+            row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
+        }
+        table.push(row);
+    }
+    table
+}
+
+/// F5 — estimator accuracy: predicted vs measured overhead.
+pub fn f5_estimator(params: &Params) -> Table {
+    let sim = SimConfig::default();
+    let mut table = Table::new(
+        "F5",
+        "Estimator accuracy: predicted vs measured overhead (%)",
+        &["workload", "config", "est+%", "measured+%", "abs-err"],
+    );
+    let line_words = SimConfig::default().icache.line_words();
+    for w in params.workloads() {
+        let b = baseline(&w, &sim);
+        let cfg = flexprot_core::Cfg::recover(&b.image).expect("cfg");
+        let cases: Vec<(&str, ProtectionConfig)> = vec![
+            (
+                "guards d=0.25",
+                ProtectionConfig::new().with_guards(guard_config(0.25, Placement::Uniform)),
+            ),
+            (
+                "guards d=1.0",
+                ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform)),
+            ),
+            (
+                "enc program",
+                ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY)),
+            ),
+        ];
+        for (name, config) in cases {
+            // Estimate on the baseline layout, mirroring the pass's actual
+            // selection (including loop-header enforcement).
+            let selected = match &config.guards {
+                Some(g) => {
+                    flexprot_core::select_guard_blocks(&b.image, &cfg, g, Some(&b.profile))
+                        .expect("selection")
+                }
+                None => Default::default(),
+            };
+            let ranges: Vec<(u32, u32)> = if config.encryption.is_some() {
+                vec![(b.image.text_base, b.image.text_end())]
+            } else {
+                vec![]
+            };
+            let est = flexprot_core::estimate(
+                &b.image,
+                &cfg,
+                &selected,
+                &ranges,
+                DecryptModel::baseline(),
+                line_words,
+                &b.profile,
+            );
+            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
+            let r = run_protected(&w, &protected, &sim);
+            let est_pct = est.overhead_fraction() * 100.0;
+            let meas_pct = overhead_pct(b.run.stats.cycles, r.stats.cycles);
+            table.push(vec![
+                w.name.to_owned(),
+                name.to_owned(),
+                fmt_pct(est_pct),
+                fmt_pct(meas_pct),
+                fmt_pct((est_pct - meas_pct).abs()),
+            ]);
+        }
+    }
+    table
+}
+
+/// T5 — protection diversity: how different two independent protections of
+/// the same program look (anti-pattern-matching property).
+pub fn t5_diversity(params: &Params) -> Table {
+    let mut table = Table::new(
+        "T5",
+        "Re-protection diversity: fraction of differing text words",
+        &["workload", "guards-reseed%", "enc-rekey%", "combined%"],
+    );
+    for w in params.workloads() {
+        let image = w.image();
+        let guarded = |seed: u64| {
+            let config = ProtectionConfig::new().with_guards(GuardConfig {
+                seed,
+                key: GUARD_KEY ^ seed,
+                ..guard_config(0.5, Placement::Uniform)
+            });
+            protect(&image, &config, None).expect("protect").image
+        };
+        let encrypted = |key: u64| {
+            let config =
+                ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(key));
+            protect(&image, &config, None).expect("protect").image
+        };
+        let combined = |seed: u64| {
+            let config = ProtectionConfig::new()
+                .with_guards(GuardConfig {
+                    seed,
+                    key: GUARD_KEY ^ seed,
+                    ..guard_config(0.5, Placement::Uniform)
+                })
+                .with_encryption(EncryptConfig::whole_program(ENC_KEY ^ seed));
+            protect(&image, &config, None).expect("protect").image
+        };
+        let diversity = flexprot_attack::analysis::word_diversity;
+        table.push(vec![
+            w.name.to_owned(),
+            fmt_pct(diversity(&guarded(1), &guarded(2)) * 100.0),
+            fmt_pct(diversity(&encrypted(1), &encrypted(2)) * 100.0),
+            fmt_pct(diversity(&combined(1), &combined(2)) * 100.0),
+        ]);
+    }
+    table
+}
+
+/// T6 — stealth: what an attacker's static scanner sees.
+pub fn t6_stealth(params: &Params) -> Table {
+    use flexprot_attack::analysis::{guard_like_runs, text_entropy_bits, undecodable_fraction};
+    let mut table = Table::new(
+        "T6",
+        "Static stealth metrics (guard-run scanner, entropy, decodability)",
+        &[
+            "workload", "config", "guard-runs", "entropy-b/B", "undecodable%",
+        ],
+    );
+    for w in params.workloads() {
+        let image = w.image();
+        let cases: Vec<(&str, Image)> = vec![
+            ("plain", image.clone()),
+            (
+                "guards",
+                protect(
+                    &image,
+                    &ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform)),
+                    None,
+                )
+                .expect("protect")
+                .image,
+            ),
+            (
+                "guards+enc",
+                protect(
+                    &image,
+                    &ProtectionConfig::new()
+                        .with_guards(guard_config(1.0, Placement::Uniform))
+                        .with_encryption(EncryptConfig::whole_program(ENC_KEY)),
+                    None,
+                )
+                .expect("protect")
+                .image,
+            ),
+        ];
+        for (name, img) in cases {
+            table.push(vec![
+                w.name.to_owned(),
+                name.to_owned(),
+                guard_like_runs(&img, 4).to_string(),
+                format!("{:.3}", text_entropy_bits(&img)),
+                fmt_pct(undecodable_fraction(&img) * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+/// F6 — detection-latency distribution under full guards.
+pub fn f6_latency(params: &Params) -> Table {
+    let mut table = Table::new(
+        "F6",
+        "Detection latency distribution (instructions; guards, density 1.0)",
+        &["attack", "detections", "min", "p50", "p90", "max", "mean"],
+    );
+    let config = ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform));
+    for attack in Attack::all() {
+        let mut agg = flexprot_attack::AttackSummary::default();
+        for w in params.attack_workloads() {
+            let image = w.image();
+            let base = Machine::new(&image, SimConfig::default()).run();
+            let protected = protect(&image, &config, None).expect("protect");
+            let sim = SimConfig {
+                max_instructions: base.stats.instructions * 4 + 10_000,
+                ..SimConfig::default()
+            };
+            agg.merge(&evaluate(
+                &protected,
+                &w.expected_output(),
+                attack,
+                params.trials(),
+                0xF6,
+                &sim,
+            ));
+        }
+        let q = |v: f64| {
+            agg.latency_quantile(v)
+                .map_or_else(|| "-".to_owned(), |x| x.to_string())
+        };
+        table.push(vec![
+            attack.name().to_owned(),
+            agg.detected.to_string(),
+            q(0.0),
+            q(0.5),
+            q(0.9),
+            q(1.0),
+            agg.mean_latency()
+                .map_or_else(|| "-".to_owned(), |m| format!("{m:.0}")),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment in order.
+pub fn run_all(params: &Params) -> Vec<Table> {
+    vec![
+        t1_characterize(params),
+        t2_size_overhead(params),
+        f1_guard_density(params),
+        f2_decrypt_latency(params),
+        f3_icache_sweep(params),
+        t3_detection(params),
+        f4_pareto(params),
+        t4_placement(params),
+        f5_estimator(params),
+        t5_diversity(params),
+        t6_stealth(params),
+        f6_latency(params),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: Params = Params { quick: true };
+
+    #[test]
+    fn t1_rows_cover_quick_workloads() {
+        let t = t1_characterize(&QUICK);
+        assert_eq!(t.rows.len(), QUICK.workloads().len());
+    }
+
+    #[test]
+    fn f1_overheads_increase_with_density() {
+        let t = f1_guard_density(&QUICK);
+        for row in &t.rows {
+            let low: f64 = row[1].parse().unwrap();
+            let high: f64 = row[2].parse().unwrap();
+            assert!(high >= low, "row {row:?}");
+            assert!(low >= 0.0);
+        }
+    }
+
+    #[test]
+    fn f2_serial_costs_at_least_pipelined() {
+        let t = f2_decrypt_latency(&QUICK);
+        for row in &t.rows {
+            // columns: name, serial@2, pipe@2, serial@8, pipe@8
+            let serial8: f64 = row[3].parse().unwrap();
+            let pipe8: f64 = row[4].parse().unwrap();
+            assert!(serial8 >= pipe8 - 0.01, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn t3_guards_beat_none_on_bitflips() {
+        let t = t3_detection(&QUICK);
+        let rate = |config: &str, attack: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == config && r[1] == attack)
+                .map(|r| r[7].parse().unwrap())
+                .unwrap()
+        };
+        assert!(rate("guards", "bit-flip") >= rate("none", "bit-flip"));
+        assert!(rate("guards+enc", "code-inject") >= rate("none", "code-inject"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text/CSV result tables.
+
+use std::fmt;
+
+/// One experiment's result table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id, e.g. `"F1"`.
+    pub id: &'static str,
+    /// Human-readable caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table from `&str` headers.
+    pub fn new(id: &'static str, title: &str, headers: &[&str]) -> Table {
+        Table::with_headers(id, title, headers.iter().map(|h| (*h).to_owned()).collect())
+    }
+
+    /// Creates an empty table from owned headers.
+    pub fn with_headers(id: &'static str, title: &str, headers: Vec<String>) -> Table {
+        Table {
+            id,
+            title: title.to_owned(),
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row arity does not match the headers.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV (headers first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {}", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}")?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("T9", "demo", &["name", "value"]);
+        t.push(vec!["a".into(), "1".into()]);
+        t.push(vec!["long-name".into(), "22".into()]);
+        t
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[2], "long-name,22");
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        assert!(text.contains("[T9] demo"));
+        assert!(text.contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        sample().push(vec!["only-one".into()]);
+    }
+}

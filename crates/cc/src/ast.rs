@@ -1,0 +1,246 @@
+//! MiniC abstract syntax tree.
+
+/// A complete translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global scalar and array declarations.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+/// One global: `int g;` or `int a[N];`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// `Some(n)` for an array of `n` words, `None` for a scalar.
+    pub array: Option<usize>,
+    /// Declaration line (diagnostics).
+    pub line: usize,
+}
+
+/// One function definition. All parameters and the return value are `int`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Parameter names (max 4, passed in `$a0..$a3`).
+    pub params: Vec<String>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Definition line (diagnostics).
+    pub line: usize,
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable (local or global).
+    Var(String),
+    /// A global array element.
+    Index(String, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int x;` / `int x = e;`
+    Decl {
+        /// Local name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Line.
+        line: usize,
+    },
+    /// `lv = e;`
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value.
+        value: Expr,
+        /// Line.
+        line: usize,
+    },
+    /// `if (c) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (c) { .. }`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }` — init/step are statements.
+    For {
+        /// Initializer (run once).
+        init: Option<Box<Stmt>>,
+        /// Condition (default: true).
+        cond: Option<Expr>,
+        /// Step (run each iteration).
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `break;` — leave the innermost loop.
+    Break {
+        /// Line, for "outside a loop" diagnostics.
+        line: usize,
+    },
+    /// `continue;` — next iteration of the innermost loop.
+    Continue {
+        /// Line, for "outside a loop" diagnostics.
+        line: usize,
+    },
+    /// An expression evaluated for effect (a call).
+    Expr(Expr),
+    /// `print(e);` — decimal integer to the console.
+    Print(Expr),
+    /// `printc(e);` — one character.
+    PrintChar(Expr),
+    /// `printh(e);` — zero-padded hex.
+    PrintHex(Expr),
+    /// `puts("...");` — a literal string.
+    Puts(String),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable read.
+    Var(String),
+    /// Global array element read.
+    Index(String, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Constant-folds an all-literal expression with the runtime's exact
+    /// 32-bit wrapping semantics (used by the code generator for folding
+    /// and by the parser for array sizes).
+    pub fn const_eval(&self) -> Option<i64> {
+        self.const_eval_i32().map(i64::from)
+    }
+
+    fn const_eval_i32(&self) -> Option<i32> {
+        match self {
+            Expr::Int(v) => Some(*v as i32),
+            Expr::Unary(op, e) => {
+                let v = e.const_eval_i32()?;
+                Some(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i32::from(v == 0),
+                    UnOp::BitNot => !v,
+                })
+            }
+            Expr::Binary(op, l, r) => {
+                let (a, b) = (l.const_eval_i32()?, r.const_eval_i32()?);
+                Some(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => ((a as u32) << ((b as u32) & 31)) as i32,
+                    BinOp::Shr => a >> ((b as u32) & 31),
+                    BinOp::Lt => i32::from(a < b),
+                    BinOp::Gt => i32::from(a > b),
+                    BinOp::Le => i32::from(a <= b),
+                    BinOp::Ge => i32::from(a >= b),
+                    BinOp::Eq => i32::from(a == b),
+                    BinOp::Ne => i32::from(a != b),
+                    BinOp::LogAnd => i32::from(a != 0 && b != 0),
+                    BinOp::LogOr => i32::from(a != 0 || b != 0),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_eval_folds_literals() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Int(2)),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::Int(3)),
+                Box::new(Expr::Int(4)),
+            )),
+        );
+        assert_eq!(e.const_eval(), Some(14));
+        assert_eq!(
+            Expr::Unary(UnOp::Neg, Box::new(Expr::Int(5))).const_eval(),
+            Some(-5)
+        );
+        assert_eq!(Expr::Var("x".into()).const_eval(), None);
+    }
+}

@@ -1,0 +1,625 @@
+//! MiniC → SP32 assembly code generation.
+//!
+//! The generator is deliberately simple and stack-disciplined (no register
+//! allocation): expression temporaries live on the machine stack, so
+//! arbitrarily deep expressions and nested calls are correct by
+//! construction. Registers used:
+//!
+//! * `$t0` — current expression value, `$t1` — second operand;
+//! * `$t8` — address scratch for globals and array indexing;
+//! * `$fp` — frame base (locals at `4*i($fp)`), `$sp` — temporary stack;
+//! * `$a0..$a3` — arguments, `$v0` — return value.
+//!
+//! Frame layout (built by the prologue):
+//!
+//! ```text
+//! fp + 4*nlocals + 4 : saved $ra
+//! fp + 4*nlocals     : saved $fp
+//! fp + 4*i           : local slot i (parameters first)
+//! fp = sp
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::ast::{BinOp, Expr, Function, LValue, Program, Stmt, UnOp};
+
+/// Code-generation error (semantic analysis failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// 1-based source line, when known.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Generates SP32 assembly for a parsed program.
+///
+/// # Errors
+///
+/// Reports duplicate/undefined names, arity mismatches and missing `main`.
+pub fn generate(program: &Program) -> Result<String, CodegenError> {
+    let mut gen = Generator::new(program)?;
+    gen.program(program)?;
+    Ok(gen.finish())
+}
+
+struct FuncSig {
+    params: usize,
+}
+
+struct Generator {
+    text: String,
+    data: String,
+    globals: BTreeMap<String, Option<usize>>, // name -> array size
+    functions: BTreeMap<String, FuncSig>,
+    strings: Vec<String>,
+    label_counter: usize,
+}
+
+/// Per-function emission state: lexical scopes mapping names to frame
+/// slots, the bump allocator for slots, and the epilogue label.
+struct Frame {
+    /// Innermost scope last; each entry is (name, slot).
+    scopes: Vec<Vec<(String, usize)>>,
+    next_slot: usize,
+    epilogue: String,
+    /// Innermost loop last: (continue target, break target).
+    loops: Vec<(String, String)>,
+}
+
+impl Frame {
+    fn lookup(&self, name: &str) -> Option<usize> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|scope| {
+                scope
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, slot)| *slot)
+            })
+    }
+
+    /// Declares `name` in the innermost scope; errors on a duplicate in the
+    /// *same* scope (shadowing outer scopes is fine).
+    fn declare(&mut self, name: &str, line: usize) -> Result<usize, CodegenError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.iter().any(|(n, _)| n == name) {
+            return Err(CodegenError {
+                line,
+                message: format!("duplicate declaration of `{name}` in the same scope"),
+            });
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        scope.push((name.to_owned(), slot));
+        Ok(slot)
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+}
+
+impl Generator {
+    fn new(program: &Program) -> Result<Generator, CodegenError> {
+        let mut globals = BTreeMap::new();
+        for global in &program.globals {
+            if globals.insert(global.name.clone(), global.array).is_some() {
+                return Err(CodegenError {
+                    line: global.line,
+                    message: format!("duplicate global `{}`", global.name),
+                });
+            }
+        }
+        let mut functions = BTreeMap::new();
+        for function in &program.functions {
+            if globals.contains_key(&function.name) {
+                return Err(CodegenError {
+                    line: function.line,
+                    message: format!("`{}` defined as both global and function", function.name),
+                });
+            }
+            let sig = FuncSig {
+                params: function.params.len(),
+            };
+            if functions.insert(function.name.clone(), sig).is_some() {
+                return Err(CodegenError {
+                    line: function.line,
+                    message: format!("duplicate function `{}`", function.name),
+                });
+            }
+        }
+        if !functions.contains_key("main") {
+            return Err(CodegenError {
+                line: 0,
+                message: "no `main` function".into(),
+            });
+        }
+        Ok(Generator {
+            text: String::new(),
+            data: String::new(),
+            globals,
+            functions,
+            strings: Vec::new(),
+            label_counter: 0,
+        })
+    }
+
+    fn emit(&mut self, line: &str) {
+        writeln!(self.text, "        {line}").expect("string write");
+    }
+
+    fn label(&mut self, name: &str) {
+        writeln!(self.text, "{name}:").expect("string write");
+    }
+
+    fn fresh(&mut self, hint: &str) -> String {
+        self.label_counter += 1;
+        format!("L{}_{}", hint, self.label_counter)
+    }
+
+    fn finish(self) -> String {
+        let mut out = String::new();
+        out.push_str("# generated by flexprot-cc (MiniC)\n");
+        if !self.data.is_empty() || !self.strings.is_empty() {
+            out.push_str("        .data\n");
+            out.push_str(&self.data);
+            for (i, s) in self.strings.iter().enumerate() {
+                let escaped = s
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+                    .replace('\t', "\\t")
+                    .replace('\0', "\\0");
+                out.push_str(&format!("Lstr_{i}: .asciiz \"{escaped}\"\n"));
+            }
+        }
+        out.push_str("        .text\n");
+        out.push_str(&self.text);
+        out
+    }
+
+    fn program(&mut self, program: &Program) -> Result<(), CodegenError> {
+        for global in &program.globals {
+            let words = global.array.unwrap_or(1);
+            writeln!(self.data, "G_{}: .space {}", global.name, words * 4).expect("write");
+        }
+        // Entry shim: call main, then exit cleanly.
+        self.label("main");
+        self.emit("jal F_main");
+        self.emit("li $v0, 10");
+        self.emit("syscall");
+        for function in &program.functions {
+            self.function(function)?;
+        }
+        Ok(())
+    }
+
+    fn function(&mut self, function: &Function) -> Result<(), CodegenError> {
+        // Frame size upper bound: one slot per parameter plus one per
+        // declaration anywhere in the body (slots are not reused across
+        // sibling scopes — simple and always sufficient).
+        let nslots = function.params.len() + count_decls(&function.body);
+        let mut frame = Frame {
+            scopes: vec![Vec::new()],
+            next_slot: 0,
+            epilogue: format!("Lret_{}", function.name),
+            loops: Vec::new(),
+        };
+        for p in &function.params {
+            frame.declare(p, function.line).map_err(|_| CodegenError {
+                line: function.line,
+                message: format!("duplicate parameter `{p}`"),
+            })?;
+        }
+
+        let frame_bytes = (nslots as i64 + 2) * 4;
+        self.label(&format!("F_{}", function.name));
+        self.emit(&format!("addi $sp, $sp, -{frame_bytes}"));
+        self.emit(&format!("sw $ra, {}($sp)", frame_bytes - 4));
+        self.emit(&format!("sw $fp, {}($sp)", frame_bytes - 8));
+        self.emit("move $fp, $sp");
+        for i in 0..function.params.len() {
+            self.emit(&format!("sw $a{i}, {}($fp)", i * 4));
+        }
+        self.stmts(&function.body, &mut frame)?;
+        debug_assert!(frame.next_slot <= nslots);
+        // Fall-through return: v0 = 0.
+        self.emit("li $v0, 0");
+        self.label(&frame.epilogue);
+        self.emit(&format!("lw $ra, {}($fp)", frame_bytes - 4));
+        self.emit(&format!("lw $fp, {}($fp)", frame_bytes - 8));
+        self.emit(&format!("addi $sp, $sp, {frame_bytes}"));
+        self.emit("jr $ra");
+        Ok(())
+    }
+
+    /// Emits a statement list in its own lexical scope.
+    fn block(&mut self, body: &[Stmt], frame: &mut Frame) -> Result<(), CodegenError> {
+        frame.push_scope();
+        let result = self.stmts(body, frame);
+        frame.pop_scope();
+        result
+    }
+
+    fn stmts(&mut self, body: &[Stmt], frame: &mut Frame) -> Result<(), CodegenError> {
+        for stmt in body {
+            self.stmt(stmt, frame)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt, frame: &mut Frame) -> Result<(), CodegenError> {
+        match stmt {
+            Stmt::Decl { name, init, line } => {
+                // Evaluate the initializer BEFORE the name is in scope
+                // (`int x = x;` must reference an outer `x`, not itself).
+                if let Some(init) = init {
+                    self.expr(init, frame)?;
+                }
+                let slot = frame.declare(name, *line)?;
+                if init.is_some() {
+                    self.emit(&format!("sw $t0, {}($fp)", slot * 4));
+                }
+            }
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
+                self.expr(value, frame)?;
+                match target {
+                    LValue::Var(name) => {
+                        if let Some(slot) = frame.lookup(name) {
+                            self.emit(&format!("sw $t0, {}($fp)", slot * 4));
+                        } else if let Some(None) = self.globals.get(name) {
+                            self.emit(&format!("la $t8, G_{name}"));
+                            self.emit("sw $t0, 0($t8)");
+                        } else {
+                            return Err(CodegenError {
+                                line: *line,
+                                message: format!("assignment to unknown variable `{name}`"),
+                            });
+                        }
+                    }
+                    LValue::Index(name, index) => {
+                        if !matches!(self.globals.get(name.as_str()), Some(Some(_))) {
+                            return Err(CodegenError {
+                                line: *line,
+                                message: format!("`{name}` is not a global array"),
+                            });
+                        }
+                        // value on stack while the index is computed
+                        self.push_t0();
+                        self.expr(index, frame)?;
+                        self.emit("sll $t0, $t0, 2");
+                        self.emit(&format!("la $t8, G_{name}"));
+                        self.emit("addu $t8, $t8, $t0");
+                        self.pop_t0();
+                        self.emit("sw $t0, 0($t8)");
+                    }
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let l_else = self.fresh("else");
+                let l_end = self.fresh("endif");
+                self.expr(cond, frame)?;
+                self.emit(&format!("beqz $t0, {l_else}"));
+                self.block(then_body, frame)?;
+                self.emit(&format!("b {l_end}"));
+                self.label(&l_else);
+                self.block(else_body, frame)?;
+                self.label(&l_end);
+            }
+            Stmt::While { cond, body } => {
+                let l_top = self.fresh("while");
+                let l_end = self.fresh("wend");
+                self.label(&l_top);
+                self.expr(cond, frame)?;
+                self.emit(&format!("beqz $t0, {l_end}"));
+                frame.loops.push((l_top.clone(), l_end.clone()));
+                let result = self.block(body, frame);
+                frame.loops.pop();
+                result?;
+                self.emit(&format!("b {l_top}"));
+                self.label(&l_end);
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // The whole `for` gets one scope so the init declaration
+                // covers cond, step and body.
+                frame.push_scope();
+                let result = (|| {
+                    if let Some(init) = init {
+                        self.stmt(init, frame)?;
+                    }
+                    let l_top = self.fresh("for");
+                    let l_step = self.fresh("fstep");
+                    let l_end = self.fresh("fend");
+                    self.label(&l_top);
+                    if let Some(cond) = cond {
+                        self.expr(cond, frame)?;
+                        self.emit(&format!("beqz $t0, {l_end}"));
+                    }
+                    frame.loops.push((l_step.clone(), l_end.clone()));
+                    let body_result = self.block(body, frame);
+                    frame.loops.pop();
+                    body_result?;
+                    self.label(&l_step);
+                    if let Some(step) = step {
+                        self.stmt(step, frame)?;
+                    }
+                    self.emit(&format!("b {l_top}"));
+                    self.label(&l_end);
+                    Ok(())
+                })();
+                frame.pop_scope();
+                result?;
+            }
+            Stmt::Return(value) => {
+                match value {
+                    Some(value) => {
+                        self.expr(value, frame)?;
+                        self.emit("move $v0, $t0");
+                    }
+                    None => self.emit("li $v0, 0"),
+                }
+                self.emit(&format!("b {}", frame.epilogue));
+            }
+            Stmt::Break { line } => {
+                let Some((_, l_break)) = frame.loops.last().cloned() else {
+                    return Err(CodegenError {
+                        line: *line,
+                        message: "`break` outside a loop".into(),
+                    });
+                };
+                self.emit(&format!("b {l_break}"));
+            }
+            Stmt::Continue { line } => {
+                let Some((l_continue, _)) = frame.loops.last().cloned() else {
+                    return Err(CodegenError {
+                        line: *line,
+                        message: "`continue` outside a loop".into(),
+                    });
+                };
+                self.emit(&format!("b {l_continue}"));
+            }
+            Stmt::Expr(expr) => {
+                self.expr(expr, frame)?;
+            }
+            Stmt::Print(expr) => {
+                self.expr(expr, frame)?;
+                self.emit("move $a0, $t0");
+                self.emit("li $v0, 1");
+                self.emit("syscall");
+            }
+            Stmt::PrintChar(expr) => {
+                self.expr(expr, frame)?;
+                self.emit("move $a0, $t0");
+                self.emit("li $v0, 11");
+                self.emit("syscall");
+            }
+            Stmt::PrintHex(expr) => {
+                self.expr(expr, frame)?;
+                self.emit("move $a0, $t0");
+                self.emit("li $v0, 34");
+                self.emit("syscall");
+            }
+            Stmt::Puts(text) => {
+                let id = self.strings.len();
+                self.strings.push(text.clone());
+                self.emit(&format!("la $a0, Lstr_{id}"));
+                self.emit("li $v0, 4");
+                self.emit("syscall");
+            }
+        }
+        Ok(())
+    }
+
+    fn push_t0(&mut self) {
+        self.emit("addi $sp, $sp, -4");
+        self.emit("sw $t0, 0($sp)");
+    }
+
+    fn pop_t0(&mut self) {
+        self.emit("lw $t0, 0($sp)");
+        self.emit("addi $sp, $sp, 4");
+    }
+
+    /// Evaluates `expr` into `$t0`.
+    fn expr(&mut self, expr: &Expr, frame: &Frame) -> Result<(), CodegenError> {
+        // Constant folding: any all-literal subtree becomes one `li`.
+        if !matches!(expr, Expr::Int(_)) {
+            if let Some(value) = expr.const_eval() {
+                self.emit(&format!("li $t0, {}", value as i32));
+                return Ok(());
+            }
+        }
+        match expr {
+            Expr::Int(value) => {
+                let v = *value as i32;
+                self.emit(&format!("li $t0, {v}"));
+            }
+            Expr::Var(name) => {
+                if let Some(slot) = frame.lookup(name) {
+                    self.emit(&format!("lw $t0, {}($fp)", slot * 4));
+                } else {
+                    match self.globals.get(name.as_str()) {
+                        Some(None) => {
+                            self.emit(&format!("la $t8, G_{name}"));
+                            self.emit("lw $t0, 0($t8)");
+                        }
+                        Some(Some(_)) => {
+                            // Array name decays to its base address.
+                            self.emit(&format!("la $t0, G_{name}"));
+                        }
+                        None => {
+                            return Err(CodegenError {
+                                line: 0,
+                                message: format!("unknown variable `{name}`"),
+                            })
+                        }
+                    }
+                }
+            }
+            Expr::Index(name, index) => {
+                if !matches!(self.globals.get(name.as_str()), Some(Some(_))) {
+                    return Err(CodegenError {
+                        line: 0,
+                        message: format!("`{name}` is not a global array"),
+                    });
+                }
+                self.expr(index, frame)?;
+                self.emit("sll $t0, $t0, 2");
+                self.emit(&format!("la $t8, G_{name}"));
+                self.emit("addu $t8, $t8, $t0");
+                self.emit("lw $t0, 0($t8)");
+            }
+            Expr::Call(name, args) => {
+                let sig = self.functions.get(name.as_str()).ok_or_else(|| CodegenError {
+                    line: 0,
+                    message: format!("call to unknown function `{name}`"),
+                })?;
+                if sig.params != args.len() {
+                    return Err(CodegenError {
+                        line: 0,
+                        message: format!(
+                            "`{name}` takes {} argument(s), {} given",
+                            sig.params,
+                            args.len()
+                        ),
+                    });
+                }
+                for arg in args {
+                    self.expr(arg, frame)?;
+                    self.push_t0();
+                }
+                for i in (0..args.len()).rev() {
+                    self.emit(&format!("lw $a{i}, 0($sp)"));
+                    self.emit("addi $sp, $sp, 4");
+                }
+                self.emit(&format!("jal F_{name}"));
+                self.emit("move $t0, $v0");
+            }
+            Expr::Unary(op, inner) => {
+                self.expr(inner, frame)?;
+                match op {
+                    UnOp::Neg => self.emit("subu $t0, $zero, $t0"),
+                    UnOp::BitNot => self.emit("nor $t0, $t0, $zero"),
+                    UnOp::Not => self.emit("sltiu $t0, $t0, 1"),
+                }
+            }
+            Expr::Binary(BinOp::LogAnd, lhs, rhs) => {
+                let l_false = self.fresh("andf");
+                let l_end = self.fresh("ande");
+                self.expr(lhs, frame)?;
+                self.emit(&format!("beqz $t0, {l_false}"));
+                self.expr(rhs, frame)?;
+                self.emit("sltu $t0, $zero, $t0");
+                self.emit(&format!("b {l_end}"));
+                self.label(&l_false);
+                self.emit("li $t0, 0");
+                self.label(&l_end);
+            }
+            Expr::Binary(BinOp::LogOr, lhs, rhs) => {
+                let l_true = self.fresh("ort");
+                let l_end = self.fresh("ore");
+                self.expr(lhs, frame)?;
+                self.emit(&format!("bnez $t0, {l_true}"));
+                self.expr(rhs, frame)?;
+                self.emit("sltu $t0, $zero, $t0");
+                self.emit(&format!("b {l_end}"));
+                self.label(&l_true);
+                self.emit("li $t0, 1");
+                self.label(&l_end);
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                self.expr(lhs, frame)?;
+                self.push_t0();
+                self.expr(rhs, frame)?;
+                self.emit("move $t1, $t0");
+                self.pop_t0();
+                // t0 = lhs, t1 = rhs
+                match op {
+                    BinOp::Add => self.emit("addu $t0, $t0, $t1"),
+                    BinOp::Sub => self.emit("subu $t0, $t0, $t1"),
+                    BinOp::Mul => self.emit("mul $t0, $t0, $t1"),
+                    BinOp::Div => self.emit("div $t0, $t0, $t1"),
+                    BinOp::Rem => self.emit("rem $t0, $t0, $t1"),
+                    BinOp::And => self.emit("and $t0, $t0, $t1"),
+                    BinOp::Or => self.emit("or $t0, $t0, $t1"),
+                    BinOp::Xor => self.emit("xor $t0, $t0, $t1"),
+                    BinOp::Shl => self.emit("sllv $t0, $t0, $t1"),
+                    BinOp::Shr => self.emit("srav $t0, $t0, $t1"),
+                    BinOp::Lt => self.emit("slt $t0, $t0, $t1"),
+                    BinOp::Gt => self.emit("slt $t0, $t1, $t0"),
+                    BinOp::Le => {
+                        self.emit("slt $t0, $t1, $t0");
+                        self.emit("xori $t0, $t0, 1");
+                    }
+                    BinOp::Ge => {
+                        self.emit("slt $t0, $t0, $t1");
+                        self.emit("xori $t0, $t0, 1");
+                    }
+                    BinOp::Eq => {
+                        self.emit("xor $t0, $t0, $t1");
+                        self.emit("sltiu $t0, $t0, 1");
+                    }
+                    BinOp::Ne => {
+                        self.emit("xor $t0, $t0, $t1");
+                        self.emit("sltu $t0, $zero, $t0");
+                    }
+                    BinOp::LogAnd | BinOp::LogOr => unreachable!("handled above"),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn count_decls(body: &[Stmt]) -> usize {
+    body.iter()
+        .map(|stmt| match stmt {
+            Stmt::Decl { .. } => 1,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => count_decls(then_body) + count_decls(else_body),
+            Stmt::While { body, .. } => count_decls(body),
+            Stmt::For {
+                init, body, step, ..
+            } => {
+                init.as_ref().map_or(0, |s| count_decls(std::slice::from_ref(s)))
+                    + count_decls(body)
+                    + step
+                        .as_ref()
+                        .map_or(0, |s| count_decls(std::slice::from_ref(s)))
+            }
+            _ => 0,
+        })
+        .sum()
+}

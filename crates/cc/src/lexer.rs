@@ -1,0 +1,425 @@
+//! MiniC lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // literals / names
+    Int(i64),
+    Str(String),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    // operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    NotEq,
+    AndAnd,
+    OrOr,
+    /// Compound assignment `op=`; carries the underlying operator token.
+    OpAssign(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Ident(name) => write!(f, "{name}"),
+            Tok::KwInt => f.write_str("int"),
+            Tok::KwIf => f.write_str("if"),
+            Tok::KwElse => f.write_str("else"),
+            Tok::KwWhile => f.write_str("while"),
+            Tok::KwFor => f.write_str("for"),
+            Tok::KwReturn => f.write_str("return"),
+            Tok::KwBreak => f.write_str("break"),
+            Tok::KwContinue => f.write_str("continue"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::Comma => f.write_str(","),
+            Tok::Semi => f.write_str(";"),
+            Tok::Assign => f.write_str("="),
+            Tok::Plus => f.write_str("+"),
+            Tok::Minus => f.write_str("-"),
+            Tok::Star => f.write_str("*"),
+            Tok::Slash => f.write_str("/"),
+            Tok::Percent => f.write_str("%"),
+            Tok::Amp => f.write_str("&"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::Caret => f.write_str("^"),
+            Tok::Tilde => f.write_str("~"),
+            Tok::Bang => f.write_str("!"),
+            Tok::Shl => f.write_str("<<"),
+            Tok::Shr => f.write_str(">>"),
+            Tok::Lt => f.write_str("<"),
+            Tok::Gt => f.write_str(">"),
+            Tok::Le => f.write_str("<="),
+            Tok::Ge => f.write_str(">="),
+            Tok::EqEq => f.write_str("=="),
+            Tok::NotEq => f.write_str("!="),
+            Tok::AndAnd => f.write_str("&&"),
+            Tok::OrOr => f.write_str("||"),
+            Tok::OpAssign(op) => write!(f, "{op}="),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexing error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes MiniC source.
+///
+/// Supports `//` line comments and `/* */` block comments, decimal / hex /
+/// character literals, and string literals with C escapes.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let err = |line: usize, message: String| LexError { line, message };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(err(line, "unterminated block comment".into()));
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let value = if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                    i += 2;
+                    let hex_start = i;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    i64::from_str_radix(&source[hex_start..i], 16)
+                        .map_err(|_| err(line, format!("bad hex literal `{}`", &source[start..i])))?
+                } else {
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    source[start..i]
+                        .parse()
+                        .map_err(|_| err(line, format!("bad literal `{}`", &source[start..i])))?
+                };
+                tokens.push(Spanned {
+                    tok: Tok::Int(value),
+                    line,
+                });
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                tokens.push(Spanned { tok, line });
+            }
+            '\'' => {
+                i += 1;
+                let (value, used) = match bytes.get(i) {
+                    Some(b'\\') => {
+                        let esc = *bytes
+                            .get(i + 1)
+                            .ok_or_else(|| err(line, "unterminated char literal".into()))?;
+                        let v = match esc {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            other => {
+                                return Err(err(
+                                    line,
+                                    format!("unknown escape `\\{}`", other as char),
+                                ))
+                            }
+                        };
+                        (v, 2)
+                    }
+                    Some(&b) => (b, 1),
+                    None => return Err(err(line, "unterminated char literal".into())),
+                };
+                i += used;
+                if bytes.get(i) != Some(&b'\'') {
+                    return Err(err(line, "unterminated char literal".into()));
+                }
+                i += 1;
+                tokens.push(Spanned {
+                    tok: Tok::Int(i64::from(value)),
+                    line,
+                });
+            }
+            '"' => {
+                i += 1;
+                let mut text = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None | Some(b'\n') => {
+                            return Err(err(line, "unterminated string literal".into()))
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            let esc = *bytes
+                                .get(i + 1)
+                                .ok_or_else(|| err(line, "unterminated string".into()))?;
+                            text.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'0' => '\0',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(err(
+                                        line,
+                                        format!("unknown escape `\\{}`", other as char),
+                                    ))
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            text.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Spanned {
+                    tok: Tok::Str(text),
+                    line,
+                });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &source[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, used) = match two {
+                    "+=" => (Tok::OpAssign("+"), 2),
+                    "-=" => (Tok::OpAssign("-"), 2),
+                    "*=" => (Tok::OpAssign("*"), 2),
+                    "/=" => (Tok::OpAssign("/"), 2),
+                    "%=" => (Tok::OpAssign("%"), 2),
+                    "&=" => (Tok::OpAssign("&"), 2),
+                    "|=" => (Tok::OpAssign("|"), 2),
+                    "^=" => (Tok::OpAssign("^"), 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => {
+                        let tok = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ',' => Tok::Comma,
+                            ';' => Tok::Semi,
+                            '=' => Tok::Assign,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '&' => Tok::Amp,
+                            '|' => Tok::Pipe,
+                            '^' => Tok::Caret,
+                            '~' => Tok::Tilde,
+                            '!' => Tok::Bang,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            other => {
+                                return Err(err(line, format!("unexpected character `{other}`")))
+                            }
+                        };
+                        (tok, 1)
+                    }
+                };
+                tokens.push(Spanned { tok, line });
+                i += used;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("int foo if ifx"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwIf,
+                Tok::Ident("ifx".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_chars() {
+        assert_eq!(
+            toks("42 0x2A 'a' '\\n'"),
+            vec![Tok::Int(42), Tok::Int(42), Tok::Int(97), Tok::Int(10)]
+        );
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            toks("a<=b<<c==d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Shl,
+                Tok::Ident("c".into()),
+                Tok::EqEq,
+                Tok::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 // two\n3 /* 4\n5 */ 6"),
+            vec![Tok::Int(1), Tok::Int(3), Tok::Int(6)]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(toks(r#""a\nb""#), vec![Tok::Str("a\nb".into())]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let spanned = lex("1\n\n2").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 3);
+    }
+
+    #[test]
+    fn errors_report_line() {
+        let e = lex("ok\n  @").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("'x").is_err());
+    }
+}

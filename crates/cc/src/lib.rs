@@ -1,0 +1,422 @@
+//! MiniC — a small C-like language compiling to SP32 assembly.
+//!
+//! MiniC completes the codesign toolchain: source → assembly → image →
+//! protected image. The language is a C subset chosen to cover the
+//! benchmark-kernel idioms:
+//!
+//! * `int` scalars (32-bit, wrapping) and global `int` arrays;
+//! * functions with up to four `int` parameters and an `int` result;
+//! * `if`/`else`, `while`, `for`, `return`; C operator precedence with
+//!   short-circuit `&&`/`||`;
+//! * console builtins `print(e)`, `printc(e)`, `printh(e)`, `puts("…")`.
+//!
+//! Deliberate restrictions (documented, not silently wrong): no pointers
+//! (array names decay to base addresses but arithmetic through them is up
+//! to the programmer) and no local arrays. Semantics notes: all arithmetic
+//! is 32-bit two's-complement wrapping; division/remainder by zero yield 0
+//! (matching the SP32 CPU); `>>` is arithmetic; blocks introduce lexical
+//! scopes with shadowing; the builtin names `print`, `printc`, `printh`
+//! and `puts` shadow user functions when called.
+//!
+//! # Example
+//!
+//! ```
+//! use flexprot_sim::{Machine, Outcome, SimConfig};
+//!
+//! let image = flexprot_cc::compile_to_image(r#"
+//!     int square(int x) { return x * x; }
+//!     int main() { print(square(7)); return 0; }
+//! "#)?;
+//! let result = Machine::new(&image, SimConfig::default()).run();
+//! assert_eq!(result.outcome, Outcome::Exit(0));
+//! assert_eq!(result.output, "49");
+//! # Ok::<(), flexprot_cc::CcError>(())
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod lexer;
+pub mod parser;
+
+use std::fmt;
+
+use flexprot_isa::Image;
+
+/// Any MiniC compilation failure, with its source line where known.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CcError {
+    /// Lexing failed.
+    Lex(lexer::LexError),
+    /// Parsing failed.
+    Parse(parser::ParseError),
+    /// Semantic analysis / code generation failed.
+    Codegen(codegen::CodegenError),
+    /// The generated assembly failed to assemble (a compiler bug).
+    Assemble(String),
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcError::Lex(e) => write!(f, "lex error: {e}"),
+            CcError::Parse(e) => write!(f, "parse error: {e}"),
+            CcError::Codegen(e) => write!(f, "error: {e}"),
+            CcError::Assemble(e) => write!(f, "internal error (bad codegen): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Compiles MiniC source to SP32 assembly text.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile(source: &str) -> Result<String, CcError> {
+    let program = parser::parse(source).map_err(CcError::Parse)?;
+    codegen::generate(&program).map_err(CcError::Codegen)
+}
+
+/// Compiles MiniC source all the way to a loadable [`Image`].
+///
+/// # Errors
+///
+/// Propagates compilation errors; an assembly failure of generated code is
+/// reported as [`CcError::Assemble`] (a compiler bug, please report).
+pub fn compile_to_image(source: &str) -> Result<Image, CcError> {
+    let asm = compile(source)?;
+    flexprot_asm::assemble(&asm).map_err(|e| CcError::Assemble(format!("{e}\n{asm}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexprot_sim::{Machine, Outcome, SimConfig};
+
+    fn run(source: &str) -> String {
+        let image = compile_to_image(source).expect("compile");
+        let result = Machine::new(&image, SimConfig::default()).run();
+        assert_eq!(result.outcome, Outcome::Exit(0), "{:?}", result.outcome);
+        result.output
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(run("int main() { print(1 + 2 * 3 - 4 / 2); return 0; }"), "5");
+        assert_eq!(run("int main() { print((1 + 2) * 3); return 0; }"), "9");
+        assert_eq!(run("int main() { print(7 % 3); return 0; }"), "1");
+        assert_eq!(run("int main() { print(-5 + 2); return 0; }"), "-3");
+        assert_eq!(run("int main() { print(1 << 4 | 3); return 0; }"), "19");
+        assert_eq!(run("int main() { print(-8 >> 1); return 0; }"), "-4");
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(run("int main() { print(3 < 4); print(4 < 3); return 0; }"), "10");
+        assert_eq!(run("int main() { print(3 <= 3); print(4 <= 3); return 0; }"), "10");
+        assert_eq!(run("int main() { print(5 == 5); print(5 != 5); return 0; }"), "10");
+        assert_eq!(run("int main() { print(!0); print(!7); return 0; }"), "10");
+        assert_eq!(run("int main() { print(1 && 2); print(0 && 2); return 0; }"), "10");
+        assert_eq!(run("int main() { print(0 || 3); print(0 || 0); return 0; }"), "10");
+    }
+
+    #[test]
+    fn short_circuit_has_no_side_effects() {
+        // g is incremented only when touch() runs; && must skip it.
+        let out = run(r#"
+            int g;
+            int touch() { g = g + 1; return 1; }
+            int main() {
+                g = 0;
+                int a = 0 && touch();
+                int b = 1 || touch();
+                print(g); print(a); print(b);
+                return 0;
+            }
+        "#);
+        assert_eq!(out, "001");
+    }
+
+    #[test]
+    fn locals_params_and_calls() {
+        let out = run(r#"
+            int add3(int a, int b, int c) { return a + b + c; }
+            int main() {
+                int x = add3(1, 2, 3);
+                int y = add3(x, x, x);
+                print(y);
+                return 0;
+            }
+        "#);
+        assert_eq!(out, "18");
+    }
+
+    #[test]
+    fn nested_calls_preserve_arguments() {
+        let out = run(r#"
+            int sub(int a, int b) { return a - b; }
+            int main() { print(sub(sub(10, 3), sub(4, 2))); return 0; }
+        "#);
+        assert_eq!(out, "5");
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        let out = run(r#"
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { print(fib(15)); return 0; }
+        "#);
+        assert_eq!(out, "610");
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let out = run(r#"
+            int total;
+            int data[10];
+            int main() {
+                for (int i = 0; i < 10; i = i + 1) { data[i] = i * i; }
+                total = 0;
+                for (int i = 0; i < 10; i = i + 1) { total = total + data[i]; }
+                print(total);
+                return 0;
+            }
+        "#);
+        assert_eq!(out, "285");
+    }
+
+    #[test]
+    fn while_and_for_loops() {
+        assert_eq!(
+            run("int main() { int s = 0; int i = 1; while (i <= 100) { s = s + i; i = i + 1; } print(s); return 0; }"),
+            "5050"
+        );
+        assert_eq!(
+            run("int main() { int s = 0; for (int i = 1; i <= 100; i = i + 1) { s = s + i; } print(s); return 0; }"),
+            "5050"
+        );
+    }
+
+    #[test]
+    fn if_else_chains() {
+        let src = |n: i32| {
+            format!(
+                "int classify(int n) {{ if (n < 0) {{ return -1; }} else if (n == 0) {{ return 0; }} else {{ return 1; }} }}
+                 int main() {{ print(classify({n})); return 0; }}"
+            )
+        };
+        assert_eq!(run(&src(-5)), "-1");
+        assert_eq!(run(&src(0)), "0");
+        assert_eq!(run(&src(9)), "1");
+    }
+
+    #[test]
+    fn print_builtins() {
+        assert_eq!(
+            run(r#"int main() { puts("x="); print(65); printc(10); printh(255); return 0; }"#),
+            "x=65\n000000ff"
+        );
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        assert_eq!(
+            run("int main() { print(2147483647 + 1 == -2147483647 - 1); return 0; }"),
+            "1"
+        );
+    }
+
+    #[test]
+    fn deep_expression_stack() {
+        // Deep nesting exercises the temporary stack discipline.
+        let expr = "1".to_owned() + &" + 1".repeat(100);
+        assert_eq!(run(&format!("int main() {{ print({expr}); return 0; }}")), "101");
+        let nested = format!("{}1{}", "(".repeat(60), ")".repeat(60));
+        assert_eq!(run(&format!("int main() {{ print({nested}); return 0; }}")), "1");
+    }
+
+    #[test]
+    fn main_exit_code_is_zero_regardless_of_return() {
+        let image = compile_to_image("int main() { return 42; }").unwrap();
+        let result = Machine::new(&image, SimConfig::default()).run();
+        assert_eq!(result.outcome, Outcome::Exit(0));
+    }
+
+    #[test]
+    fn semantic_errors_are_reported() {
+        assert!(matches!(
+            compile("int main() { return x; }"),
+            Err(CcError::Codegen(_))
+        ));
+        assert!(matches!(
+            compile("int f() { return 0; } int main() { return f(1); }"),
+            Err(CcError::Codegen(_))
+        ));
+        assert!(matches!(
+            compile("int g; int g; int main() { return 0; }"),
+            Err(CcError::Codegen(_))
+        ));
+        assert!(matches!(compile("int f() { return 0; }"), Err(CcError::Codegen(_))));
+        assert!(matches!(
+            compile("int main() { int a = 1; int a = 2; return a; }"),
+            Err(CcError::Codegen(_))
+        ));
+        assert!(matches!(
+            compile("int main() { a[0] = 1; return 0; }"),
+            Err(CcError::Codegen(_))
+        ));
+    }
+
+    #[test]
+    fn compiled_code_survives_protection() {
+        use flexprot_core::{protect, EncryptConfig, GuardConfig, ProtectionConfig};
+        let image = compile_to_image(
+            r#"
+            int acc;
+            int mix(int x) { acc = acc * 31 + x; return acc; }
+            int main() {
+                acc = 7;
+                for (int i = 0; i < 50; i = i + 1) { mix(i ^ 13); }
+                printh(acc);
+                return 0;
+            }
+        "#,
+        )
+        .unwrap();
+        let baseline = Machine::new(&image, SimConfig::default()).run();
+        assert_eq!(baseline.outcome, Outcome::Exit(0));
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig::with_density(1.0))
+            .with_encryption(EncryptConfig::whole_program(0xCC));
+        let protected = protect(&image, &config, None).unwrap();
+        let run = protected.run(SimConfig::default());
+        assert_eq!(run.outcome, Outcome::Exit(0));
+        assert_eq!(run.output, baseline.output);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use flexprot_sim::{Machine, Outcome, SimConfig};
+
+    fn run(source: &str) -> String {
+        let image = compile_to_image(source).expect("compile");
+        let result = Machine::new(&image, SimConfig::default()).run();
+        assert_eq!(result.outcome, Outcome::Exit(0), "{:?}", result.outcome);
+        result.output
+    }
+
+    #[test]
+    fn break_leaves_innermost_loop() {
+        let out = run(r#"
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i += 1) {
+                    if (i == 5) { break; }
+                    s += i;
+                }
+                print(s);
+                return 0;
+            }
+        "#);
+        assert_eq!(out, "10"); // 0+1+2+3+4
+    }
+
+    #[test]
+    fn continue_skips_to_step() {
+        let out = run(r#"
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i += 1) {
+                    if (i % 2 == 0) { continue; }
+                    s += i;
+                }
+                print(s);
+                return 0;
+            }
+        "#);
+        assert_eq!(out, "25"); // 1+3+5+7+9
+    }
+
+    #[test]
+    fn continue_in_while_rechecks_condition() {
+        let out = run(r#"
+            int main() {
+                int i = 0;
+                int s = 0;
+                while (i < 6) {
+                    i += 1;
+                    if (i == 3) { continue; }
+                    s += i;
+                }
+                print(s);
+                return 0;
+            }
+        "#);
+        assert_eq!(out, "18"); // 1+2+4+5+6
+    }
+
+    #[test]
+    fn nested_break_only_exits_inner() {
+        let out = run(r#"
+            int main() {
+                int hits = 0;
+                for (int i = 0; i < 3; i += 1) {
+                    for (int j = 0; j < 10; j += 1) {
+                        if (j == 2) { break; }
+                        hits += 1;
+                    }
+                }
+                print(hits);
+                return 0;
+            }
+        "#);
+        assert_eq!(out, "6"); // 2 per outer iteration
+    }
+
+    #[test]
+    fn compound_assignment_operators() {
+        let out = run(r#"
+            int a[3];
+            int main() {
+                int x = 10;
+                x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x |= 8; x ^= 1; x &= 14;
+                a[1] = 3;
+                a[1] += 4;
+                print(x); printc(' '); print(a[1]);
+                return 0;
+            }
+        "#);
+        // 10+5=15, -3=12, *2=24, /4=6, %4=2, |8=10, ^1=11, &14=10
+        assert_eq!(out, "10 7");
+    }
+
+    #[test]
+    fn break_outside_loop_is_an_error() {
+        assert!(matches!(
+            compile("int main() { break; return 0; }"),
+            Err(CcError::Codegen(_))
+        ));
+        assert!(matches!(
+            compile("int main() { continue; return 0; }"),
+            Err(CcError::Codegen(_))
+        ));
+    }
+
+    #[test]
+    fn constant_folding_shrinks_code() {
+        let folded = compile("int main() { print(2 * 3 + 4 * (5 - 1)); return 0; }").unwrap();
+        let unfolded_ops = folded.matches("mul").count() + folded.matches("addu").count();
+        // The whole constant expression must collapse to a single li.
+        assert_eq!(unfolded_ops, 0, "{folded}");
+        assert_eq!(
+            run("int main() { print(2 * 3 + 4 * (5 - 1)); return 0; }"),
+            "22"
+        );
+    }
+}

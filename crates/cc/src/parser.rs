@@ -1,0 +1,552 @@
+//! MiniC recursive-descent parser with precedence climbing.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Function, Global, LValue, Program, Stmt, UnOp};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Parse error with location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 = end of input).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> ParseError {
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a MiniC translation unit.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |s| s.line)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let tok = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        tok
+    }
+
+    fn eat(&mut self, expected: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(tok) if tok == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(tok) => {
+                let found = tok.clone();
+                self.err(format!("expected `{expected}`, found `{found}`"))
+            }
+            None => self.err(format!("expected `{expected}`, found end of input")),
+        }
+    }
+
+    fn try_eat(&mut self, expected: &Tok) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                Ok(name)
+            }
+            Some(tok) => {
+                let found = tok.clone();
+                self.err(format!("expected identifier, found `{found}`"))
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program {
+            globals: Vec::new(),
+            functions: Vec::new(),
+        };
+        while self.peek().is_some() {
+            let line = self.line();
+            self.eat(&Tok::KwInt)?;
+            let name = self.ident()?;
+            match self.peek() {
+                Some(Tok::LParen) => {
+                    program.functions.push(self.function(name, line)?);
+                }
+                Some(Tok::LBracket) => {
+                    self.pos += 1;
+                    let size_expr = self.expr()?;
+                    let size = size_expr
+                        .const_eval()
+                        .filter(|&n| n > 0 && n <= 1 << 20)
+                        .ok_or(ParseError {
+                            line,
+                            message: "array size must be a positive constant".into(),
+                        })?;
+                    self.eat(&Tok::RBracket)?;
+                    self.eat(&Tok::Semi)?;
+                    program.globals.push(Global {
+                        name,
+                        array: Some(size as usize),
+                        line,
+                    });
+                }
+                _ => {
+                    self.eat(&Tok::Semi)?;
+                    program.globals.push(Global {
+                        name,
+                        array: None,
+                        line,
+                    });
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn function(&mut self, name: String, line: usize) -> Result<Function, ParseError> {
+        self.eat(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.try_eat(&Tok::RParen) {
+            loop {
+                self.eat(&Tok::KwInt)?;
+                params.push(self.ident()?);
+                if !self.try_eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            self.eat(&Tok::RParen)?;
+        }
+        if params.len() > 4 {
+            return Err(ParseError {
+                line,
+                message: format!("function `{name}` has {} parameters (max 4)", params.len()),
+            });
+        }
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat(&Tok::LBrace)?;
+        let mut body = Vec::new();
+        while !self.try_eat(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return self.err("unterminated block");
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek() {
+            Some(Tok::KwInt) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                if self.peek() == Some(&Tok::LBracket) {
+                    return self.err("local arrays are not supported; declare them globally");
+                }
+                let init = if self.try_eat(&Tok::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Decl { name, init, line })
+            }
+            Some(Tok::KwIf) => {
+                self.pos += 1;
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let then_body = self.block()?;
+                let else_body = if self.try_eat(&Tok::KwElse) {
+                    if self.peek() == Some(&Tok::KwIf) {
+                        vec![self.stmt()?] // else if
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Some(Tok::KwWhile) => {
+                self.pos += 1;
+                self.eat(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Some(Tok::KwFor) => {
+                self.pos += 1;
+                self.eat(&Tok::LParen)?;
+                let init = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.eat(&Tok::Semi)?;
+                let cond = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&Tok::Semi)?;
+                let step = if self.peek() == Some(&Tok::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.eat(&Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Some(Tok::KwBreak) => {
+                self.pos += 1;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Break { line })
+            }
+            Some(Tok::KwContinue) => {
+                self.pos += 1;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Continue { line })
+            }
+            Some(Tok::KwReturn) => {
+                self.pos += 1;
+                let value = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            _ => {
+                let stmt = self.simple_stmt()?;
+                self.eat(&Tok::Semi)?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    /// A statement without its trailing `;`: assignment, declaration (in
+    /// `for` inits), builtin, or expression.
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        if self.peek() == Some(&Tok::KwInt) {
+            self.pos += 1;
+            let name = self.ident()?;
+            self.eat(&Tok::Assign)?;
+            let init = Some(self.expr()?);
+            return Ok(Stmt::Decl { name, init, line });
+        }
+        // Builtins: print / printc / printh / puts.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            let builtin = matches!(name.as_str(), "print" | "printc" | "printh" | "puts");
+            if builtin {
+                let name = name.clone();
+                if self.tokens.get(self.pos + 1).map(|s| &s.tok) == Some(&Tok::LParen) {
+                    self.pos += 2;
+                    let stmt = if name == "puts" {
+                        match self.next() {
+                            Some(Tok::Str(text)) => Stmt::Puts(text),
+                            _ => return self.err("puts expects a string literal"),
+                        }
+                    } else {
+                        let arg = self.expr()?;
+                        match name.as_str() {
+                            "print" => Stmt::Print(arg),
+                            "printc" => Stmt::PrintChar(arg),
+                            _ => Stmt::PrintHex(arg),
+                        }
+                    };
+                    self.eat(&Tok::RParen)?;
+                    return Ok(stmt);
+                }
+            }
+        }
+        // Assignment or expression statement: parse an expression and look
+        // for `=` / `op=` after an lvalue-shaped one.
+        let expr = self.expr()?;
+        let compound = match self.peek() {
+            Some(Tok::OpAssign(op)) => Some(match *op {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                "*" => BinOp::Mul,
+                "/" => BinOp::Div,
+                "%" => BinOp::Rem,
+                "&" => BinOp::And,
+                "|" => BinOp::Or,
+                _ => BinOp::Xor,
+            }),
+            _ => None,
+        };
+        if compound.is_some() || self.peek() == Some(&Tok::Assign) {
+            self.pos += 1;
+            let target = match expr {
+                Expr::Var(name) => LValue::Var(name),
+                Expr::Index(name, index) => LValue::Index(name, index),
+                _ => return self.err("assignment target must be a variable or array element"),
+            };
+            let rhs = self.expr()?;
+            // `x op= e` desugars to `x = x op e`. For array targets the
+            // index expression is evaluated twice; MiniC index expressions
+            // are side-effect-free in practice, and the desugaring is
+            // documented.
+            let value = match compound {
+                None => rhs,
+                Some(op) => {
+                    let current = match &target {
+                        LValue::Var(name) => Expr::Var(name.clone()),
+                        LValue::Index(name, index) => {
+                            Expr::Index(name.clone(), index.clone())
+                        }
+                    };
+                    Expr::Binary(op, Box::new(current), Box::new(rhs))
+                }
+            };
+            return Ok(Stmt::Assign {
+                target,
+                value,
+                line,
+            });
+        }
+        Ok(Stmt::Expr(expr))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let Some((op, prec)) = self.peek().and_then(op_of) else {
+                break;
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Some(Tok::Minus) => Some(UnOp::Neg),
+            Some(Tok::Bang) => Some(UnOp::Not),
+            Some(Tok::Tilde) => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(inner)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Int(value)) => Ok(Expr::Int(value)),
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) => match self.peek() {
+                Some(Tok::LParen) => {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !self.try_eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.try_eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.eat(&Tok::RParen)?;
+                    }
+                    Ok(Expr::Call(name, args))
+                }
+                Some(Tok::LBracket) => {
+                    self.pos += 1;
+                    let index = self.expr()?;
+                    self.eat(&Tok::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(index)))
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            Some(other) => self.err(format!("expected expression, found `{other}`")),
+            None => self.err("expected expression, found end of input"),
+        }
+    }
+}
+
+/// Operator precedence table (higher binds tighter).
+fn op_of(tok: &Tok) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        Tok::OrOr => (BinOp::LogOr, 1),
+        Tok::AndAnd => (BinOp::LogAnd, 2),
+        Tok::Pipe => (BinOp::Or, 3),
+        Tok::Caret => (BinOp::Xor, 4),
+        Tok::Amp => (BinOp::And, 5),
+        Tok::EqEq => (BinOp::Eq, 6),
+        Tok::NotEq => (BinOp::Ne, 6),
+        Tok::Lt => (BinOp::Lt, 7),
+        Tok::Gt => (BinOp::Gt, 7),
+        Tok::Le => (BinOp::Le, 7),
+        Tok::Ge => (BinOp::Ge, 7),
+        Tok::Shl => (BinOp::Shl, 8),
+        Tok::Shr => (BinOp::Shr, 8),
+        Tok::Plus => (BinOp::Add, 9),
+        Tok::Minus => (BinOp::Sub, 9),
+        Tok::Star => (BinOp::Mul, 10),
+        Tok::Slash => (BinOp::Div, 10),
+        Tok::Percent => (BinOp::Rem, 10),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn globals_and_functions_parse() {
+        let p = parse("int g; int a[8]; int main() { return 0; }").unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].array, Some(8));
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "main");
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse("int main() { return 1 + 2 * 3 < 4 & 5; }").unwrap();
+        let Stmt::Return(Some(e)) = &p.functions[0].body[0] else {
+            panic!("expected return");
+        };
+        // ((1 + (2*3)) < 4) & 5
+        assert_eq!(e.const_eval(), Some(((1 + 2 * 3 < 4) as i64) & 5));
+        let Expr::Binary(BinOp::And, _, _) = e else {
+            panic!("& must be outermost: {e:?}");
+        };
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let p = parse(
+            "int main() { if (1) { return 1; } else if (2) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        let Stmt::If { else_body, .. } = &p.functions[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn for_loop_parses() {
+        let p = parse("int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }")
+            .unwrap();
+        assert!(matches!(p.functions[0].body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn builtins_parse() {
+        let p = parse(r#"int main() { print(1); printc('x'); printh(255); puts("hi"); return 0; }"#)
+            .unwrap();
+        assert!(matches!(p.functions[0].body[0], Stmt::Print(_)));
+        assert!(matches!(p.functions[0].body[3], Stmt::Puts(_)));
+    }
+
+    #[test]
+    fn assignment_targets() {
+        let p = parse("int a[4]; int main() { int x = 1; x = 2; a[x] = 3; return a[0]; }").unwrap();
+        assert!(matches!(
+            p.functions[0].body[2],
+            Stmt::Assign {
+                target: LValue::Index(..),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse("int main() {\n  return +;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("int main() { int a[3]; }").is_err());
+        assert!(parse("int f(int a, int b, int c, int d, int e) { return 0; }").is_err());
+        assert!(parse("int main() { 1 = 2; }").is_err());
+        assert!(parse("int x[0];").is_err());
+    }
+}

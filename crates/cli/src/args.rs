@@ -1,0 +1,87 @@
+//! Minimal dependency-free argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional arguments plus `--flag [value]` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--name value` options (`None` for bare flags).
+    pub options: BTreeMap<String, Option<String>>,
+}
+
+/// Option names that take a value; everything else `--…` is a bare flag.
+pub fn parse(args: &[String], valued: &[&str]) -> Result<Args, String> {
+    let mut out = Args::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if valued.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                out.options.insert(name.to_owned(), Some(value.clone()));
+            } else {
+                out.options.insert(name.to_owned(), None);
+            }
+        } else {
+            out.positional.push(arg.clone());
+        }
+    }
+    Ok(out)
+}
+
+impl Args {
+    /// Whether a flag/option was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.options.contains_key(name)
+    }
+
+    /// The value of a valued option, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// Parses an option as `T`, with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("invalid value `{text}` for --{name}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn positional_and_options_mix() {
+        let args = parse(&split("in.s -x --density 0.5 --stats out.fpx"), &["density"]).unwrap();
+        assert_eq!(args.positional, vec!["in.s", "-x", "out.fpx"]);
+        assert_eq!(args.value("density"), Some("0.5"));
+        assert!(args.has("stats"));
+        assert!(!args.has("density-missing"));
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&split("--density"), &["density"]).is_err());
+    }
+
+    #[test]
+    fn parse_or_defaults_and_parses() {
+        let args = parse(&split("--n 7"), &["n"]).unwrap();
+        assert_eq!(args.parse_or("n", 0u32).unwrap(), 7);
+        assert_eq!(args.parse_or("m", 3u32).unwrap(), 3);
+        let bad = parse(&split("--n x"), &["n"]).unwrap();
+        assert!(bad.parse_or("n", 0u32).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin wrapper over [`flexprot_cli::fpobjdump`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match flexprot_cli::fpobjdump(&args) {
+        Ok(message) => println!("{message}"),
+        Err(err) => {
+            eprintln!("fpobjdump: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin wrapper over [`flexprot_cli::fpprotect`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match flexprot_cli::fpprotect(&args) {
+        Ok(message) => println!("{message}"),
+        Err(err) => {
+            eprintln!("fpprotect: {err}");
+            std::process::exit(2);
+        }
+    }
+}

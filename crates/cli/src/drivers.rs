@@ -1,0 +1,568 @@
+//! The four tool drivers.
+
+use std::fmt;
+use std::path::Path;
+
+use flexprot_core::{
+    protect, EncryptConfig, Granularity, GuardConfig, Placement, ProtectionConfig, Selection,
+};
+use flexprot_isa::Image;
+use flexprot_secmon::{DecryptModel, SecMon, SecMonConfig};
+use flexprot_sim::{CacheConfig, Machine, Outcome, SimConfig};
+
+use crate::args::parse;
+
+/// Any failure a driver can report (message already formatted for users).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError(message)
+    }
+}
+
+fn read(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path).map_err(|e| CliError(format!("cannot read {path}: {e}")))
+}
+
+fn write(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    if let Some(dir) = Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError(format!("cannot create {}: {e}", dir.display())))?;
+        }
+    }
+    std::fs::write(path, bytes).map_err(|e| CliError(format!("cannot write {path}: {e}")))
+}
+
+fn load_image(path: &str) -> Result<Image, CliError> {
+    Image::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))
+}
+
+/// `fpasm <input.s> -o <output.fpx>` — assemble a source file.
+///
+/// Returns the human-readable success message.
+///
+/// # Errors
+///
+/// Reports I/O, parse and assembly failures.
+pub fn fpasm(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse(raw_args, &["o"])?;
+    let [input] = args.positional.as_slice() else {
+        return Err(CliError(
+            "usage: fpasm <input.s> [-o|--o <output.fpx>]".to_owned(),
+        ));
+    };
+    let source = String::from_utf8(read(input)?)
+        .map_err(|_| CliError(format!("{input}: not valid UTF-8")))?;
+    let image = flexprot_asm::assemble(&source).map_err(|e| CliError(format!("{input}:{e}")))?;
+    let output = args
+        .value("o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}.fpx", input.trim_end_matches(".s")));
+    write(&output, &image.to_bytes())?;
+    Ok(format!(
+        "assembled {input}: {} text words, {} data bytes -> {output}",
+        image.text.len(),
+        image.data.len()
+    ))
+}
+
+/// `fpobjdump <image.fpx>` — disassembly, symbols and relocations.
+///
+/// # Errors
+///
+/// Reports I/O and container-format failures.
+pub fn fpobjdump(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse(raw_args, &["secmon"])?;
+    let [input] = args.positional.as_slice() else {
+        return Err(CliError(
+            "usage: fpobjdump <image.fpx> [--secmon <cfg.fpm>]".to_owned(),
+        ));
+    };
+    let image = load_image(input)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{input}: entry {:#010x}, text {:#010x}+{} words, data {:#010x}+{} bytes\n\n",
+        image.entry,
+        image.text_base,
+        image.text.len(),
+        image.data_base,
+        image.data.len()
+    ));
+    out.push_str("SYMBOLS\n");
+    for (name, addr) in &image.symbols {
+        out.push_str(&format!("  {addr:#010x}  {name}\n"));
+    }
+    out.push_str(&format!("\nRELOCATIONS ({})\n", image.relocs.len()));
+    for reloc in &image.relocs {
+        out.push_str(&format!(
+            "  word {:>5}  {:<5} -> {:#010x}\n",
+            reloc.text_index, reloc.kind, reloc.target
+        ));
+    }
+    if let Some(path) = args.value("secmon") {
+        let config = SecMonConfig::from_bytes(&read(path)?)
+            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        out.push_str(&format!(
+            "\nMONITOR CONFIG ({path})\n  guard sites: {}\n  window starts: {}\n  protected ranges: {}\n  reset points: {}\n  spacing bound: {}\n  encrypted regions: {}\n  decrypt: {} cyc/word, startup {}, {}\n  halt on tamper: {}\n",
+            config.sites.len(),
+            config.window_starts.len(),
+            config.protected.len(),
+            config.reset_points.len(),
+            config
+                .spacing_bound
+                .map_or_else(|| "disabled".to_owned(), |b| b.to_string()),
+            config.regions.regions().len(),
+            config.decrypt.cycles_per_word,
+            config.decrypt.startup,
+            if config.decrypt.pipelined { "pipelined" } else { "serial" },
+            config.halt_on_tamper,
+        ));
+        out.push_str("  sites:\n");
+        for (addr, site) in &config.sites {
+            out.push_str(&format!(
+                "    {addr:#010x}  {} symbols, tail {}\n",
+                site.symbols, site.tail
+            ));
+        }
+    }
+    out.push_str("\nDISASSEMBLY\n");
+    out.push_str(&image.disassemble());
+    Ok(out)
+}
+
+/// `fpprotect <in.fpx> -o <out.fpx> --secmon <out.fpm> [options]`.
+///
+/// Options: `--density <0..1>`, `--placement uniform|random|coldest|loop`,
+/// `--encrypt program|function|block`, `--guard-key N`, `--enc-key N`,
+/// `--seed N`, `--no-spacing`, `--cycles-per-word N`, `--serial`,
+/// `--watermark TEXT` (embedded in the guard salt channel), `--profile`
+/// (run a baseline profiling simulation first, enabling cold-first
+/// placement to see real execution counts).
+///
+/// # Errors
+///
+/// Reports I/O, format and protection-pass failures.
+pub fn fpprotect(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse(
+        raw_args,
+        &[
+            "o", "secmon", "density", "placement", "encrypt", "guard-key", "enc-key", "seed",
+            "cycles-per-word", "watermark",
+        ],
+    )?;
+    let [input] = args.positional.as_slice() else {
+        return Err(CliError(
+            "usage: fpprotect <in.fpx> --o <out.fpx> --secmon <out.fpm> [options]".to_owned(),
+        ));
+    };
+    let image = load_image(input)?;
+
+    let mut config = ProtectionConfig::new();
+    let density: f64 = args.parse_or("density", 0.0)?;
+    if density > 0.0 {
+        let placement = match args.value("placement").unwrap_or("uniform") {
+            "uniform" => Placement::Uniform,
+            "random" => Placement::Random,
+            "coldest" => Placement::ColdestFirst,
+            "loop" => Placement::LoopHeaders,
+            other => return Err(CliError(format!("unknown placement `{other}`"))),
+        };
+        config.guards = Some(GuardConfig {
+            key: args.parse_or("guard-key", 0x0BAD_C0DE_CAFE_F00Du64)?,
+            seed: args.parse_or("seed", 1u64)?,
+            placement,
+            selection: Selection::Density(density),
+            enforce_spacing: !args.has("no-spacing"),
+        });
+    }
+    if let Some(granularity) = args.value("encrypt") {
+        let granularity = match granularity {
+            "program" => Granularity::Program,
+            "function" => Granularity::Function,
+            "block" => Granularity::Block,
+            other => return Err(CliError(format!("unknown granularity `{other}`"))),
+        };
+        config.encryption = Some(EncryptConfig {
+            master_key: args.parse_or("enc-key", 0x5EED_5EED_5EED_5EEDu64)?,
+            granularity,
+            model: DecryptModel {
+                cycles_per_word: args.parse_or("cycles-per-word", 2u64)?,
+                startup: 4,
+                pipelined: !args.has("serial"),
+            },
+            scope: None,
+        });
+    }
+    if let Some(text) = args.value("watermark") {
+        config.watermark = Some(text.as_bytes().to_vec());
+    }
+    let profile = if args.has("profile") {
+        let (profile, result) = flexprot_core::Profile::collect(&image, &SimConfig::default());
+        if result.outcome != Outcome::Exit(0) {
+            return Err(CliError(format!(
+                "profiling run did not exit cleanly: {:?}",
+                result.outcome
+            )));
+        }
+        Some(profile)
+    } else {
+        None
+    };
+    let protected =
+        protect(&image, &config, profile.as_ref()).map_err(|e| CliError(e.to_string()))?;
+
+    let out_path = args
+        .value("o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{input}.prot"));
+    write(&out_path, &protected.image.to_bytes())?;
+    let mut message = format!(
+        "protected {input}: {} guards (+{:.1}% size), {} encrypted region(s) -> {out_path}",
+        protected.report.guards_inserted,
+        protected.report.size_overhead_fraction() * 100.0,
+        protected.report.encrypted_regions
+    );
+    if let Some(secmon_path) = args.value("secmon") {
+        write(secmon_path, &protected.secmon.to_bytes())?;
+        message.push_str(&format!("; monitor config -> {secmon_path}"));
+    }
+    Ok(message)
+}
+
+/// What [`fprun`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// The program's console output.
+    pub output: String,
+    /// Human-readable outcome + optional stats block.
+    pub report: String,
+    /// Suggested process exit code.
+    pub exit_code: i32,
+}
+
+/// `fprun <image.fpx> [--secmon <cfg.fpm>] [--icache BYTES]
+/// [--max-instr N] [--stats]`.
+///
+/// # Errors
+///
+/// Reports I/O and format failures (simulation outcomes are reported in
+/// the summary, not as errors).
+pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
+    let args = parse(raw_args, &["secmon", "icache", "max-instr"])?;
+    let [input] = args.positional.as_slice() else {
+        return Err(CliError(
+            "usage: fprun <image.fpx> [--secmon <cfg.fpm>] [--stats]".to_owned(),
+        ));
+    };
+    let image = load_image(input)?;
+    let mut sim = SimConfig {
+        max_instructions: args.parse_or("max-instr", 200_000_000u64)?,
+        ..SimConfig::default()
+    };
+    if let Some(bytes) = args.value("icache") {
+        let size: u32 = bytes
+            .parse()
+            .map_err(|_| CliError(format!("invalid --icache `{bytes}`")))?;
+        sim.icache = CacheConfig {
+            size_bytes: size,
+            ..CacheConfig::default_icache()
+        };
+        sim.icache
+            .validate()
+            .map_err(|e| CliError(format!("--icache: {e}")))?;
+    }
+    let monitor = match args.value("secmon") {
+        Some(path) => SecMon::new(
+            SecMonConfig::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))?,
+        ),
+        None => SecMon::new(SecMonConfig::transparent()),
+    };
+    let result = Machine::with_monitor(&image, sim, monitor).run();
+
+    let (outcome_text, exit_code) = match &result.outcome {
+        Outcome::Exit(code) => (format!("exit {code}"), *code),
+        Outcome::TamperDetected(event) => (format!("TAMPER: {event}"), 101),
+        Outcome::Fault(fault) => (format!("FAULT: {fault}"), 102),
+        Outcome::OutOfFuel => ("out of fuel".to_owned(), 103),
+    };
+    let mut report = outcome_text;
+    if args.has("stats") {
+        report.push_str(&format!(
+            "\ninstructions {}\ncycles       {}\nCPI          {:.3}\nI-miss       {:.4}%\nD-miss       {:.4}%\nmonitor fill {} cycles",
+            result.stats.instructions,
+            result.stats.cycles,
+            result.stats.cpi(),
+            result.stats.icache_miss_rate() * 100.0,
+            result.stats.dcache_miss_rate() * 100.0,
+            result.stats.monitor_fill_cycles,
+        ));
+    }
+    Ok(RunSummary {
+        output: result.output,
+        report,
+        exit_code,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("flexprot-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_sample_source(name: &str) -> String {
+        let path = tmp(name);
+        std::fs::write(
+            &path,
+            "main: li $a0, 5\n li $v0, 1\n syscall\n li $v0, 10\n syscall\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn full_pipeline_assemble_protect_run() {
+        let src = write_sample_source("pipe.s");
+        let fpx = tmp("pipe.fpx");
+        let prot = tmp("pipe.prot.fpx");
+        let fpm = tmp("pipe.fpm");
+
+        let msg = fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        assert!(msg.contains("text words"), "{msg}");
+
+        let msg = fpprotect(&strs(&[
+            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0", "--encrypt", "program",
+        ]))
+        .unwrap();
+        assert!(msg.contains("guards"), "{msg}");
+
+        // Without the monitor config the ciphertext must not run cleanly.
+        let bare = fprun(&strs(&[&prot, "--max-instr", "100000"])).unwrap();
+        assert_ne!(bare.exit_code, 0, "{bare:?}");
+
+        // With the monitor it runs and prints 5.
+        let run = fprun(&strs(&[&prot, "--secmon", &fpm, "--stats"])).unwrap();
+        assert_eq!(run.exit_code, 0, "{run:?}");
+        assert_eq!(run.output, "5");
+        assert!(run.report.contains("cycles"));
+    }
+
+    #[test]
+    fn objdump_shows_symbols_and_disasm() {
+        let src = write_sample_source("dump.s");
+        let fpx = tmp("dump.fpx");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        let dump = fpobjdump(&strs(&[&fpx])).unwrap();
+        assert!(dump.contains("SYMBOLS"));
+        assert!(dump.contains("main"));
+        assert!(dump.contains("syscall"));
+    }
+
+    #[test]
+    fn objdump_renders_monitor_config() {
+        let src = write_sample_source("dumpcfg.s");
+        let fpx = tmp("dumpcfg.fpx");
+        let prot = tmp("dumpcfg.prot.fpx");
+        let fpm = tmp("dumpcfg.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0", "--encrypt", "program",
+        ]))
+        .unwrap();
+        let dump = fpobjdump(&strs(&[&prot, "--secmon", &fpm])).unwrap();
+        assert!(dump.contains("MONITOR CONFIG"), "{dump}");
+        assert!(dump.contains("guard sites"), "{dump}");
+        assert!(dump.contains("symbols, tail"), "{dump}");
+    }
+
+    #[test]
+    fn tamper_is_reported_with_distinct_exit_code() {
+        let src = write_sample_source("tamper.s");
+        let fpx = tmp("tamper.fpx");
+        let prot = tmp("tamper.prot.fpx");
+        let fpm = tmp("tamper.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[&fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0"])).unwrap();
+        // Flip one bit in the protected image on disk.
+        let mut image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
+        image.text[0] ^= 1 << 22;
+        std::fs::write(&prot, image.to_bytes()).unwrap();
+        let run = fprun(&strs(&[&prot, "--secmon", &fpm])).unwrap();
+        assert!(
+            run.exit_code == 101 || run.exit_code == 102,
+            "expected tamper/fault, got {run:?}"
+        );
+    }
+
+    #[test]
+    fn bad_usage_is_reported() {
+        assert!(fpasm(&[]).is_err());
+        assert!(fpobjdump(&[]).is_err());
+        assert!(fpprotect(&[]).is_err());
+        assert!(fprun(&[]).is_err());
+        assert!(fprun(&strs(&["/nonexistent.fpx"])).is_err());
+    }
+
+    #[test]
+    fn bad_options_are_reported() {
+        let src = write_sample_source("badopt.s");
+        let fpx = tmp("badopt.fpx");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        assert!(fpprotect(&strs(&[&fpx, "--density", "abc"])).is_err());
+        assert!(fpprotect(&strs(&[&fpx, "--density", "0.5", "--placement", "bogus"])).is_err());
+        assert!(fpprotect(&strs(&[&fpx, "--encrypt", "bogus"])).is_err());
+        assert!(fprun(&strs(&[&fpx, "--icache", "999"])).is_err());
+    }
+}
+
+/// `fpcc <input.c> [-o|--o <output.fpx>] [--emit-asm]` — compile MiniC.
+///
+/// With `--emit-asm` the generated assembly is written next to the image
+/// (same stem, `.s` extension).
+///
+/// # Errors
+///
+/// Reports I/O and compilation failures.
+pub fn fpcc(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse(raw_args, &["o"])?;
+    let [input] = args.positional.as_slice() else {
+        return Err(CliError(
+            "usage: fpcc <input.c> [-o|--o <output.fpx>] [--emit-asm]".to_owned(),
+        ));
+    };
+    let source = String::from_utf8(read(input)?)
+        .map_err(|_| CliError(format!("{input}: not valid UTF-8")))?;
+    let asm = flexprot_cc::compile(&source).map_err(|e| CliError(format!("{input}: {e}")))?;
+    let image =
+        flexprot_asm::assemble(&asm).map_err(|e| CliError(format!("{input}: internal: {e}")))?;
+    let stem = input.trim_end_matches(".c");
+    let output = args
+        .value("o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{stem}.fpx"));
+    write(&output, &image.to_bytes())?;
+    let mut message = format!(
+        "compiled {input}: {} text words, {} data bytes -> {output}",
+        image.text.len(),
+        image.data.len()
+    );
+    if args.has("emit-asm") {
+        let asm_path = format!("{stem}.s");
+        write(&asm_path, asm.as_bytes())?;
+        message.push_str(&format!("; assembly -> {asm_path}"));
+    }
+    Ok(message)
+}
+
+#[cfg(test)]
+mod fpcc_tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("flexprot-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn compile_protect_run_pipeline() {
+        let c_path = tmp("prog.c");
+        std::fs::write(
+            &c_path,
+            "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) { s = s + i; } print(s); return 0; }",
+        )
+        .unwrap();
+        let fpx = tmp("prog.fpx");
+        let msg = fpcc(&strs(&[&c_path, "--o", &fpx, "--emit-asm"])).unwrap();
+        assert!(msg.contains("assembly ->"), "{msg}");
+
+        let prot = tmp("prog.prot.fpx");
+        let fpm = tmp("prog.fpm");
+        fpprotect(&strs(&[
+            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "0.5", "--encrypt", "block",
+        ]))
+        .unwrap();
+        let run = fprun(&strs(&[&prot, "--secmon", &fpm])).unwrap();
+        assert_eq!(run.exit_code, 0, "{run:?}");
+        assert_eq!(run.output, "55");
+    }
+
+    #[test]
+    fn profile_flag_enables_cold_placement() {
+        let c_path = tmp("prof.c");
+        std::fs::write(
+            &c_path,
+            "int main() { int s = 0; for (int i = 0; i < 200; i += 1) { s += i; } print(s); return 0; }",
+        )
+        .unwrap();
+        let fpx = tmp("prof.fpx");
+        fpcc(&strs(&[&c_path, "--o", &fpx])).unwrap();
+        let prot = tmp("prof.prot.fpx");
+        let fpm = tmp("prof.fpm");
+        fpprotect(&strs(&[
+            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "0.3", "--placement", "coldest",
+            "--profile", "--no-spacing",
+        ]))
+        .unwrap();
+        let run = fprun(&strs(&[&prot, "--secmon", &fpm])).unwrap();
+        assert_eq!(run.exit_code, 0, "{run:?}");
+        assert_eq!(run.output, "19900");
+    }
+
+    #[test]
+    fn watermark_flag_embeds_payload() {
+        let c_path = tmp("wm.c");
+        std::fs::write(&c_path, "int main() { print(1); return 0; }").unwrap();
+        let fpx = tmp("wm.fpx");
+        fpcc(&strs(&[&c_path, "--o", &fpx])).unwrap();
+        let prot = tmp("wm.prot.fpx");
+        let fpm = tmp("wm.fpm");
+        fpprotect(&strs(&[
+            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0", "--watermark", "K9",
+        ]))
+        .unwrap();
+        let image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
+        let config = flexprot_secmon::SecMonConfig::from_bytes(&std::fs::read(&fpm).unwrap())
+            .unwrap();
+        let protected = flexprot_core::Protected {
+            image,
+            secmon: config,
+            report: Default::default(),
+        };
+        assert_eq!(protected.extract_watermark(2).as_deref(), Some(&b"K9"[..]));
+        let run = fprun(&strs(&[&prot, "--secmon", &fpm])).unwrap();
+        assert_eq!(run.exit_code, 0);
+        assert_eq!(run.output, "1");
+    }
+
+    #[test]
+    fn compile_errors_are_surfaced() {
+        let c_path = tmp("bad.c");
+        std::fs::write(&c_path, "int main() { return x; }").unwrap();
+        let err = fpcc(&strs(&[&c_path])).unwrap_err();
+        assert!(err.to_string().contains("unknown variable"), "{err}");
+    }
+}

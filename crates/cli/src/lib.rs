@@ -1,0 +1,20 @@
+//! Driver logic for the command-line toolchain.
+//!
+//! Each binary (`fpasm`, `fpobjdump`, `fpprotect`, `fprun`) is a thin
+//! wrapper around a driver function here, so the full argument-parsing and
+//! I/O logic is unit-testable without spawning processes.
+//!
+//! A complete protected build-and-run pipeline:
+//!
+//! ```text
+//! fpasm program.s -o program.fpx
+//! fpprotect program.fpx -o program.prot.fpx --secmon program.fpm \
+//!           --density 0.5 --encrypt function
+//! fprun program.prot.fpx --secmon program.fpm --stats
+//! fpobjdump program.prot.fpx          # ciphertext: mostly .word noise
+//! ```
+
+pub mod args;
+pub mod drivers;
+
+pub use drivers::{fpasm, fpcc, fpobjdump, fpprotect, fprun, CliError, RunSummary};

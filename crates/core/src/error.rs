@@ -1,0 +1,67 @@
+//! Errors raised by the protection toolchain.
+
+use std::fmt;
+
+/// Error produced while analysing or rewriting a binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtectError {
+    /// A text word failed to decode during CFG recovery.
+    UndecodableText { addr: u32, word: u32 },
+    /// A branch or jump targets an address outside the text segment or not
+    /// at an instruction boundary.
+    BadControlTarget { addr: u32, target: u32 },
+    /// A control-flow instruction has no relocation record, so rewriting
+    /// would silently break it.
+    MissingReloc { addr: u32 },
+    /// A relocated field no longer fits its encoding after re-layout.
+    RelocOverflow { addr: u32, target: u32 },
+    /// A configuration parameter is out of range.
+    BadConfig(String),
+}
+
+impl fmt::Display for ProtectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProtectError::UndecodableText { addr, word } => {
+                write!(f, "undecodable text word {word:#010x} at {addr:#010x}")
+            }
+            ProtectError::BadControlTarget { addr, target } => {
+                write!(
+                    f,
+                    "control transfer at {addr:#010x} targets invalid address {target:#010x}"
+                )
+            }
+            ProtectError::MissingReloc { addr } => {
+                write!(
+                    f,
+                    "control transfer at {addr:#010x} lacks a relocation; cannot rewrite safely"
+                )
+            }
+            ProtectError::RelocOverflow { addr, target } => {
+                write!(
+                    f,
+                    "relocated field at {addr:#010x} cannot encode target {target:#010x}"
+                )
+            }
+            ProtectError::BadConfig(ref msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ProtectError::UndecodableText { addr: 4, word: 5 }
+            .to_string()
+            .contains("undecodable"));
+        assert!(ProtectError::MissingReloc { addr: 4 }
+            .to_string()
+            .contains("relocation"));
+        assert!(ProtectError::BadConfig("x".into()).to_string().contains("x"));
+    }
+}

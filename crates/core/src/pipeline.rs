@@ -1,0 +1,419 @@
+//! The end-to-end protection pipeline.
+//!
+//! [`protect`] chains the two passes in their required order — guards on
+//! plaintext, then encryption on the final layout — and merges the hardware
+//! configuration both halves need into one [`SecMonConfig`].
+
+use flexprot_isa::Image;
+use flexprot_secmon::{SecMon, SecMonConfig};
+use flexprot_sim::{Machine, RunResult, SimConfig};
+
+use crate::encrypt::{encrypt_text, EncryptConfig};
+use crate::error::ProtectError;
+use crate::guards::{insert_guards, GuardConfig, Selection};
+use crate::optimize::Plan;
+use crate::profile::Profile;
+use crate::watermark;
+
+/// What to apply: either, both, or neither layer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProtectionConfig {
+    /// Guard layer, if enabled.
+    pub guards: Option<GuardConfig>,
+    /// Encryption layer, if enabled.
+    pub encryption: Option<EncryptConfig>,
+    /// Covert payload embedded in the guard salt channel (requires the
+    /// guard layer; applied before encryption).
+    pub watermark: Option<Vec<u8>>,
+    /// Forwarded to the monitor: abort on first tamper event (default
+    /// true via [`ProtectionConfig::new`]).
+    pub halt_on_tamper: bool,
+}
+
+impl ProtectionConfig {
+    /// Both layers off; enable via the builder-style helpers.
+    pub fn new() -> ProtectionConfig {
+        ProtectionConfig {
+            guards: None,
+            encryption: None,
+            watermark: None,
+            halt_on_tamper: true,
+        }
+    }
+
+    /// Enables the guard layer.
+    pub fn with_guards(mut self, guards: GuardConfig) -> ProtectionConfig {
+        self.guards = Some(guards);
+        self
+    }
+
+    /// Enables the encryption layer.
+    pub fn with_encryption(mut self, encryption: EncryptConfig) -> ProtectionConfig {
+        self.encryption = Some(encryption);
+        self
+    }
+
+    /// Embeds a covert payload in the guard salt channel (see
+    /// [`crate::watermark`]). Requires [`ProtectionConfig::with_guards`].
+    pub fn with_watermark(mut self, payload: impl Into<Vec<u8>>) -> ProtectionConfig {
+        self.watermark = Some(payload.into());
+        self
+    }
+
+    /// Builds a configuration from an optimizer [`Plan`].
+    ///
+    /// Functions with a positive guard density go into a per-function guard
+    /// selection; functions marked for encryption form the encryption scope.
+    pub fn from_plan(plan: &Plan, guards: GuardConfig, encryption: EncryptConfig) -> Self {
+        let densities: std::collections::BTreeMap<String, f64> = plan
+            .functions
+            .iter()
+            .filter(|(_, fp)| fp.guard_density > 0.0)
+            .map(|(name, fp)| (name.clone(), fp.guard_density))
+            .collect();
+        let scope: std::collections::BTreeSet<String> = plan
+            .functions
+            .iter()
+            .filter(|(_, fp)| fp.encrypt)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut config = ProtectionConfig::new();
+        if !densities.is_empty() {
+            config.guards = Some(GuardConfig {
+                selection: Selection::PerFunction(densities),
+                ..guards
+            });
+        }
+        if !scope.is_empty() {
+            config.encryption = Some(EncryptConfig {
+                scope: Some(scope),
+                ..encryption
+            });
+        }
+        config
+    }
+}
+
+/// Summary of what a protection run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtectReport {
+    /// Guard sequences inserted.
+    pub guards_inserted: usize,
+    /// Text words before protection.
+    pub text_words_before: usize,
+    /// Text words after protection.
+    pub text_words_after: usize,
+    /// Encrypted regions configured.
+    pub encrypted_regions: usize,
+    /// Spacing bound provisioned, if any.
+    pub spacing_bound: Option<u64>,
+}
+
+impl ProtectReport {
+    /// Static code-size overhead, e.g. `0.08` for +8%.
+    pub fn size_overhead_fraction(&self) -> f64 {
+        if self.text_words_before == 0 {
+            0.0
+        } else {
+            (self.text_words_after - self.text_words_before) as f64
+                / self.text_words_before as f64
+        }
+    }
+}
+
+/// A protected program: the rewritten/encrypted image plus the hardware
+/// configuration that must be provisioned alongside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Protected {
+    /// The shipped binary.
+    pub image: Image,
+    /// The secure monitor's configuration.
+    pub secmon: SecMonConfig,
+    /// Build report.
+    pub report: ProtectReport,
+}
+
+impl Protected {
+    /// Builds a ready-to-run machine (image + provisioned monitor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache geometry in `config` is invalid.
+    pub fn machine(&self, config: SimConfig) -> Machine<SecMon> {
+        Machine::with_monitor(&self.image, config, SecMon::new(self.secmon.clone()))
+    }
+
+    /// Runs the protected program to completion.
+    pub fn run(&self, config: SimConfig) -> RunResult {
+        self.machine(config).run()
+    }
+
+    /// Recovers a watermark of `payload_len` bytes from the shipped image
+    /// (decrypting the text through the monitor's region table first).
+    ///
+    /// Returns `None` when no guard schedule is present or the image lacks
+    /// the guard sites.
+    pub fn extract_watermark(&self, payload_len: usize) -> Option<Vec<u8>> {
+        let mut plaintext = self.image.clone();
+        for index in 0..plaintext.text.len() {
+            let addr = plaintext.addr_of_index(index);
+            plaintext.text[index] = self.secmon.regions.apply(addr, plaintext.text[index]);
+        }
+        watermark::extract(&plaintext, &self.secmon, payload_len)
+    }
+}
+
+/// Applies the configured protection layers to `image`.
+///
+/// # Errors
+///
+/// Propagates pass failures: CFG recovery, missing relocations, relocation
+/// overflow or bad parameters.
+pub fn protect(
+    image: &Image,
+    config: &ProtectionConfig,
+    profile: Option<&Profile>,
+) -> Result<Protected, ProtectError> {
+    let text_words_before = image.text.len();
+    let mut secmon = SecMonConfig::transparent();
+    secmon.halt_on_tamper = config.halt_on_tamper;
+
+    let mut current = image.clone();
+    let mut guards_inserted = 0;
+    if let Some(guard_config) = &config.guards {
+        let outcome = insert_guards(&current, guard_config, profile)?;
+        guards_inserted = outcome.guards_inserted;
+        secmon.guard_key = outcome.key;
+        secmon.sites = outcome.sites;
+        secmon.window_starts = outcome.window_starts;
+        secmon.protected = outcome.protected;
+        secmon.reset_points = outcome.reset_points;
+        secmon.spacing_bound = outcome.spacing_bound;
+        current = outcome.image;
+    }
+    if let Some(payload) = &config.watermark {
+        if config.guards.is_none() {
+            return Err(ProtectError::BadConfig(
+                "watermarking requires the guard layer".into(),
+            ));
+        }
+        watermark::embed(&mut current, &secmon, payload)?;
+    }
+
+    let mut encrypted_regions = 0;
+    if let Some(enc_config) = &config.encryption {
+        let outcome = encrypt_text(&current, enc_config)?;
+        encrypted_regions = outcome.regions.regions().len();
+        secmon.regions = outcome.regions;
+        secmon.decrypt = outcome.model;
+        current = outcome.image;
+    }
+
+    let report = ProtectReport {
+        guards_inserted,
+        text_words_before,
+        text_words_after: current.text.len(),
+        encrypted_regions,
+        spacing_bound: secmon.spacing_bound,
+    };
+    Ok(Protected {
+        image: current,
+        secmon,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexprot_sim::Outcome;
+
+    const SRC: &str = r#"
+        .data
+tab:    .word 3, 1, 4, 1, 5, 9, 2, 6
+        .text
+main:   la   $s0, tab
+        li   $s1, 8
+        li   $s2, 0
+loop:   lw   $t0, 0($s0)
+        jal  fold
+        addi $s0, $s0, 4
+        addi $s1, $s1, -1
+        bgtz $s1, loop
+        move $a0, $s2
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+fold:   mul  $t1, $t0, $t0
+        addu $s2, $s2, $t1
+        jr   $ra
+"#;
+
+    fn baseline() -> (Image, RunResult) {
+        let image = flexprot_asm::assemble_or_panic(SRC);
+        let r = Machine::new(&image, SimConfig::default()).run();
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        (image, r)
+    }
+
+    #[test]
+    fn empty_config_is_transparent() {
+        let (image, base) = baseline();
+        let protected = protect(&image, &ProtectionConfig::new(), None).unwrap();
+        assert_eq!(protected.image.text, image.text);
+        let r = protected.run(SimConfig::default());
+        assert_eq!(r.output, base.output);
+        assert_eq!(r.stats.cycles, base.stats.cycles);
+        assert_eq!(protected.report.size_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn guards_only_pipeline() {
+        let (image, base) = baseline();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(0.5));
+        let protected = protect(&image, &config, None).unwrap();
+        assert!(protected.report.guards_inserted > 0);
+        assert_eq!(protected.report.encrypted_regions, 0);
+        let r = protected.run(SimConfig::default());
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, base.output);
+        assert!(r.stats.cycles > base.stats.cycles);
+    }
+
+    #[test]
+    fn encryption_only_pipeline() {
+        let (image, base) = baseline();
+        let config =
+            ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xFACE));
+        let protected = protect(&image, &config, None).unwrap();
+        assert_eq!(protected.report.guards_inserted, 0);
+        assert_eq!(protected.report.encrypted_regions, 1);
+        let r = protected.run(SimConfig::default());
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, base.output);
+        assert!(r.stats.monitor_fill_cycles > 0);
+    }
+
+    #[test]
+    fn combined_pipeline_runs_and_costs_more() {
+        let (image, base) = baseline();
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig::with_density(1.0))
+            .with_encryption(EncryptConfig::whole_program(0xFACE));
+        let protected = protect(&image, &config, None).unwrap();
+        let r = protected.run(SimConfig::default());
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, base.output);
+        assert!(r.stats.cycles > base.stats.cycles);
+        assert!(protected.report.size_overhead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn combined_pipeline_detects_ciphertext_tamper() {
+        let (image, _) = baseline();
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig::with_density(1.0))
+            .with_encryption(EncryptConfig::whole_program(0xFACE));
+        let mut protected = protect(&image, &config, None).unwrap();
+        // Flip one ciphertext bit: post-decrypt garbage must be caught by a
+        // guard, a decode fault or wild control flow — never a clean exit
+        // with wrong output going unnoticed by *hardware* (output equality
+        // is checked separately in the attack harness).
+        protected.image.text[2] ^= 1 << 20;
+        let limited = SimConfig {
+            max_instructions: 1_000_000,
+            ..SimConfig::default()
+        };
+        let r = protected.run(limited);
+        assert_ne!(r.outcome, Outcome::Exit(0));
+    }
+
+    #[test]
+    fn from_plan_builds_scoped_config() {
+        use crate::optimize::{FunctionPlan, Plan};
+        let mut plan = Plan::default();
+        plan.functions.insert(
+            "fold".to_owned(),
+            FunctionPlan {
+                guard_density: 1.0,
+                encrypt: true,
+            },
+        );
+        let config = ProtectionConfig::from_plan(
+            &plan,
+            GuardConfig::with_density(0.0),
+            EncryptConfig::whole_program(0xFACE),
+        );
+        let (image, base) = baseline();
+        let protected = protect(&image, &config, None).unwrap();
+        assert!(protected.report.guards_inserted >= 1);
+        assert!(protected.report.encrypted_regions >= 1);
+        let r = protected.run(SimConfig::default());
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, base.output);
+    }
+
+    #[test]
+    fn empty_plan_yields_empty_config() {
+        let plan = Plan::default();
+        let config = ProtectionConfig::from_plan(
+            &plan,
+            GuardConfig::with_density(0.0),
+            EncryptConfig::whole_program(1),
+        );
+        assert!(config.guards.is_none());
+        assert!(config.encryption.is_none());
+    }
+}
+
+#[cfg(test)]
+mod watermark_pipeline_tests {
+    use super::*;
+    use flexprot_sim::Outcome;
+
+    const SRC: &str = r#"
+main:   li   $t0, 9
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        syscall
+"#;
+
+    #[test]
+    fn watermark_survives_guards_and_encryption() {
+        let image = flexprot_asm::assemble_or_panic(SRC);
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig::with_density(1.0))
+            .with_encryption(EncryptConfig::whole_program(0xABCD))
+            .with_watermark(*b"ID7");
+        let protected = protect(&image, &config, None).unwrap();
+        // The shipped binary runs clean...
+        let run = protected.run(SimConfig::default());
+        assert_eq!(run.outcome, Outcome::Exit(0));
+        // ...and the payload is recoverable through the decryption table.
+        assert_eq!(protected.extract_watermark(3).as_deref(), Some(&b"ID7"[..]));
+    }
+
+    #[test]
+    fn watermark_without_guards_is_rejected() {
+        let image = flexprot_asm::assemble_or_panic(SRC);
+        let config = ProtectionConfig::new().with_watermark(*b"X");
+        assert!(matches!(
+            protect(&image, &config, None),
+            Err(ProtectError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_watermark_is_rejected() {
+        let image = flexprot_asm::assemble_or_panic(SRC);
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig::with_density(1.0))
+            .with_watermark(vec![0xAA; 10_000]);
+        assert!(matches!(
+            protect(&image, &config, None),
+            Err(ProtectError::BadConfig(_))
+        ));
+    }
+}

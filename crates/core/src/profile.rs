@@ -1,0 +1,151 @@
+//! Execution profiles: the feedback half of the codesign loop.
+//!
+//! The "flexible" in flexible protection is profile-driven: the toolchain
+//! first runs the unprotected program on representative inputs, then uses
+//! per-block execution counts and per-line I-cache miss counts to decide
+//! where protection is affordable. This module wraps the simulator's
+//! profiling counters in a form the placement, estimation and optimization
+//! passes consume.
+
+use std::collections::HashMap;
+
+use flexprot_isa::Image;
+use flexprot_sim::{Machine, Outcome, RunResult, SimConfig};
+
+use crate::cfg::{Block, Cfg};
+
+/// A baseline execution profile of an unprotected program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// Committed-instruction count per pc.
+    pub exec_counts: HashMap<u32, u64>,
+    /// I-cache miss count per line base address.
+    pub imiss_counts: HashMap<u32, u64>,
+    /// Total committed instructions.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+impl Profile {
+    /// Profiles `image` by running it unprotected with profiling counters
+    /// enabled. Returns the profile together with the run result so callers
+    /// can validate output and outcome.
+    pub fn collect(image: &Image, config: &SimConfig) -> (Profile, RunResult) {
+        let config = config.clone().with_profile();
+        let result = Machine::new(image, config).run();
+        let profile = Profile {
+            exec_counts: result.stats.exec_counts.clone(),
+            imiss_counts: result.stats.imiss_counts.clone(),
+            instructions: result.stats.instructions,
+            cycles: result.stats.cycles,
+        };
+        (profile, result)
+    }
+
+    /// Like [`Profile::collect`], panicking unless the program exits
+    /// cleanly — profiles of crashing programs are garbage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the baseline run does not end in `Exit(0)`.
+    pub fn collect_clean(image: &Image, config: &SimConfig) -> Profile {
+        let (profile, result) = Profile::collect(image, config);
+        assert!(
+            result.outcome == Outcome::Exit(0),
+            "baseline run did not exit cleanly: {:?}",
+            result.outcome
+        );
+        profile
+    }
+
+    /// How many times `block` was entered (execution count of its leader).
+    pub fn block_entries(&self, image: &Image, block: &Block) -> u64 {
+        let leader = image.addr_of_index(block.start);
+        self.exec_counts.get(&leader).copied().unwrap_or(0)
+    }
+
+    /// Total I-cache miss fills whose line base falls in `[start, end)`.
+    pub fn miss_fills_in(&self, start: u32, end: u32) -> u64 {
+        self.imiss_counts
+            .iter()
+            .filter(|(&addr, _)| addr >= start && addr < end)
+            .map(|(_, &count)| count)
+            .sum()
+    }
+
+    /// Execution counts aggregated per block, in block order.
+    pub fn per_block_entries(&self, image: &Image, cfg: &Cfg) -> Vec<u64> {
+        cfg.blocks
+            .iter()
+            .map(|b| self.block_entries(image, b))
+            .collect()
+    }
+
+    /// Instructions executed inside `[start, end)`.
+    pub fn instructions_in(&self, start: u32, end: u32) -> u64 {
+        self.exec_counts
+            .iter()
+            .filter(|(&addr, _)| addr >= start && addr < end)
+            .map(|(_, &count)| count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Image, Profile) {
+        let image = flexprot_asm::assemble_or_panic(
+            r#"
+main:   li   $t0, 5
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        syscall
+"#,
+        );
+        let profile = Profile::collect_clean(&image, &SimConfig::default());
+        (image, profile)
+    }
+
+    #[test]
+    fn collect_counts_loop_iterations() {
+        let (image, profile) = sample();
+        let loop_pc = image.symbol("loop").unwrap();
+        assert_eq!(profile.exec_counts.get(&loop_pc), Some(&5));
+        assert_eq!(profile.instructions, 1 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn block_entries_uses_leader() {
+        let (image, profile) = sample();
+        let cfg = Cfg::recover(&image).unwrap();
+        let entries = profile.per_block_entries(&image, &cfg);
+        // Blocks: [main], [loop], [exit]; the loop block runs 5 times.
+        assert_eq!(entries, vec![1, 5, 1]);
+    }
+
+    #[test]
+    fn instructions_in_range() {
+        let (image, profile) = sample();
+        let all = profile.instructions_in(image.text_base, image.text_end());
+        assert_eq!(all, profile.instructions);
+        assert_eq!(profile.instructions_in(0, 4), 0);
+    }
+
+    #[test]
+    fn miss_fills_in_covers_whole_text() {
+        let (image, profile) = sample();
+        assert!(profile.miss_fills_in(image.text_base, image.text_end()) >= 1);
+        assert_eq!(profile.miss_fills_in(0, 0x100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not exit cleanly")]
+    fn collect_clean_rejects_crashes() {
+        let image = flexprot_asm::assemble_or_panic("main: break\n");
+        Profile::collect_clean(&image, &SimConfig::default());
+    }
+}

@@ -1,0 +1,227 @@
+//! Covert watermarking through the guard salt channel.
+//!
+//! Guard instructions have free bits — the opcode selector and the high
+//! `rt` bits — that the emitter normally fills with randomness for
+//! diversity. This module repurposes that channel to embed a covert
+//! payload (a customer id, a build fingerprint) that survives shipping and
+//! can be extracted from a binary given the guard schedule. Because the
+//! salt bits do not participate in the signature symbols, the watermark is
+//! orthogonal to integrity verification; because they look exactly like
+//! the random diversity bits, a binary with a watermark is
+//! indistinguishable from one without.
+//!
+//! Capacity: [`SALT_BITS_PER_WORD`] bits per guard instruction, i.e.
+//! `4 × SIG_SYMBOLS = 16` bits per guard at the default sequence length.
+
+use flexprot_isa::Image;
+use flexprot_secmon::guard::{decode_guard_symbol, encode_guard_inst};
+use flexprot_secmon::schedule::SecMonConfig;
+
+use crate::error::ProtectError;
+
+/// Payload bits carried per guard instruction (2 opcode-selector bits via
+/// `salt >> 2` would disturb diversity less, but the full 4-bit salt is
+/// recoverable, so all 4 bits are used: 2 in the `rt` high bits and 2 in
+/// the opcode selector).
+pub const SALT_BITS_PER_WORD: u32 = 4;
+
+fn funct_selector(word: u32) -> u8 {
+    // Inverse of the opcode pool in `encode_guard_inst` (funct -> selector).
+    match word & 0x3F {
+        0x21 => 0,
+        0x25 => 1,
+        0x26 => 2,
+        0x24 => 3,
+        0x2B => 4,
+        0x27 => 5,
+        _ => 0,
+    }
+}
+
+fn salt_of_word(word: u32) -> u8 {
+    let rt_hi = ((word >> 16) & 0x1F) >> 3; // the two free rt bits
+    (funct_selector(word) << 2) | rt_hi as u8
+}
+
+/// Number of payload bits `config`'s guard schedule can carry.
+pub fn capacity_bits(config: &SecMonConfig) -> u32 {
+    config
+        .sites
+        .values()
+        .map(|site| site.symbols * SALT_BITS_PER_WORD)
+        .sum()
+}
+
+/// Embeds `payload` into the guard salts of `image` (in place).
+///
+/// Bits are consumed little-endian, byte by byte; remaining guard words
+/// keep their existing salts. The signature symbols are preserved, so the
+/// binary still verifies.
+///
+/// # Errors
+///
+/// Fails when the payload exceeds [`capacity_bits`].
+pub fn embed(
+    image: &mut Image,
+    config: &SecMonConfig,
+    payload: &[u8],
+) -> Result<(), ProtectError> {
+    let needed = payload.len() as u32 * 8;
+    let capacity = capacity_bits(config);
+    if needed > capacity {
+        return Err(ProtectError::BadConfig(format!(
+            "watermark needs {needed} bits but the schedule carries only {capacity}"
+        )));
+    }
+    let mut bit = 0usize;
+    let mut next_bits = |n: u32| -> Option<u8> {
+        if bit >= payload.len() * 8 {
+            return None;
+        }
+        let mut value = 0u8;
+        for k in 0..n {
+            let index = bit + k as usize;
+            if index < payload.len() * 8 {
+                let b = (payload[index / 8] >> (index % 8)) & 1;
+                value |= b << k;
+            }
+        }
+        bit += n as usize;
+        Some(value)
+    };
+    'sites: for (&site_addr, site) in &config.sites {
+        let Some(start) = image.text_index_of(site_addr) else {
+            continue;
+        };
+        for k in 0..site.symbols as usize {
+            let word = image.text[start + k];
+            let symbol = decode_guard_symbol(word);
+            match next_bits(SALT_BITS_PER_WORD) {
+                Some(salt) => {
+                    // salt is one payload nibble: the two low bits land in
+                    // the free rt bits, the two high bits pick the opcode
+                    // (selectors 0..4, losslessly recoverable).
+                    image.text[start + k] = encode_guard_inst(symbol, salt).encode();
+                }
+                None => break 'sites,
+            }
+        }
+    }
+    let _ = bit;
+    Ok(())
+}
+
+/// Extracts `payload_len` bytes embedded by [`embed`].
+///
+/// Returns `None` when the image's guard words do not carry a payload of
+/// that length (e.g. never watermarked, or sites missing).
+pub fn extract(image: &Image, config: &SecMonConfig, payload_len: usize) -> Option<Vec<u8>> {
+    let mut bits: Vec<u8> = Vec::new();
+    for (&site_addr, site) in &config.sites {
+        let start = image.text_index_of(site_addr)?;
+        for k in 0..site.symbols as usize {
+            let word = image.text[start + k];
+            for b in 0..SALT_BITS_PER_WORD {
+                bits.push((salt_of_word(word) >> b) & 1);
+            }
+            if bits.len() >= payload_len * 8 {
+                let mut out = vec![0u8; payload_len];
+                for (i, bit) in bits.iter().take(payload_len * 8).enumerate() {
+                    out[i / 8] |= bit << (i % 8);
+                }
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guards::{insert_guards, GuardConfig};
+    use flexprot_secmon::SecMon;
+    use flexprot_sim::{Machine, Outcome, SimConfig};
+
+    const SRC: &str = r#"
+main:   li   $s0, 0
+        li   $t0, 12
+loop:   addu $s0, $s0, $t0
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        move $a0, $s0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#;
+
+    fn guarded() -> (crate::guards::GuardOutcome, SecMonConfig) {
+        let image = flexprot_asm::assemble_or_panic(SRC);
+        let out = insert_guards(&image, &GuardConfig::with_density(1.0), None).unwrap();
+        let config = out.secmon_config();
+        (out, config)
+    }
+
+    #[test]
+    fn capacity_matches_site_count() {
+        let (_, config) = guarded();
+        assert_eq!(
+            capacity_bits(&config),
+            config.site_count() as u32 * 4 * SALT_BITS_PER_WORD
+        );
+        assert!(capacity_bits(&config) >= 16);
+    }
+
+    #[test]
+    fn embed_extract_round_trip() {
+        let (out, config) = guarded();
+        let payload = b"WM";
+        let mut image = out.image.clone();
+        embed(&mut image, &config, payload).unwrap();
+        assert_eq!(extract(&image, &config, 2).as_deref(), Some(&payload[..]));
+    }
+
+    #[test]
+    fn watermarked_binary_still_runs_and_verifies() {
+        let (out, config) = guarded();
+        let baseline = {
+            let monitor = SecMon::new(config.clone());
+            Machine::with_monitor(&out.image, SimConfig::default(), monitor)
+                .run()
+                .output
+        };
+        let mut image = out.image.clone();
+        embed(&mut image, &config, b"A").unwrap();
+        let monitor = SecMon::new(config.clone());
+        let mut machine = Machine::with_monitor(&image, SimConfig::default(), monitor);
+        let run = machine.run();
+        assert_eq!(run.outcome, Outcome::Exit(0), "{:?}", run.outcome);
+        assert_eq!(run.output, baseline);
+        assert!(machine.monitor().checks_passed() > 0);
+        assert!(machine.monitor().tamper_log().is_empty());
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let (out, config) = guarded();
+        let too_big = vec![0u8; (capacity_bits(&config) / 8 + 1) as usize];
+        let mut image = out.image.clone();
+        assert!(matches!(
+            embed(&mut image, &config, &too_big),
+            Err(ProtectError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_payloads_yield_distinct_binaries() {
+        let (out, config) = guarded();
+        let mut a = out.image.clone();
+        let mut b = out.image.clone();
+        embed(&mut a, &config, b"x").unwrap();
+        embed(&mut b, &config, b"y").unwrap();
+        assert_ne!(a.text, b.text);
+        assert_eq!(extract(&a, &config, 1).as_deref(), Some(&b"x"[..]));
+        assert_eq!(extract(&b, &config, 1).as_deref(), Some(&b"y"[..]));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the protection passes: **semantic preservation under
+//! arbitrary configurations** — the invariant everything else rests on.
+
+use flexprot_core::{
+    protect, EncryptConfig, Granularity, GuardConfig, Placement, ProtectionConfig, Selection,
+};
+use flexprot_secmon::DecryptModel;
+use flexprot_sim::{Machine, Outcome, SimConfig};
+use proptest::prelude::*;
+
+const PROGRAM: &str = r#"
+        .data
+buf:    .space 64
+        .text
+main:   li   $s0, 16
+        li   $s1, 1          # LCG-ish state
+        la   $s2, buf
+mloop:  li   $t8, 2531011
+        mul  $s1, $s1, $t8
+        addi $s1, $s1, 13849
+        andi $t0, $s1, 0xFF
+        sw   $t0, 0($s2)
+        jal  twist
+        addi $s2, $s2, 4
+        addi $s0, $s0, -1
+        bgtz $s0, mloop
+        jal  fold
+        move $a0, $v0
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+twist:  lw   $t1, 0($s2)
+        sll  $t2, $t1, 3
+        xor  $t1, $t1, $t2
+        sw   $t1, 0($s2)
+        jr   $ra
+fold:   la   $t0, buf
+        li   $t1, 16
+        li   $v0, 0
+floop:  lw   $t2, 0($t0)
+        addu $v0, $v0, $t2
+        addi $t0, $t0, 4
+        addi $t1, $t1, -1
+        bgtz $t1, floop
+        jr   $ra
+"#;
+
+fn baseline() -> (flexprot_isa::Image, String) {
+    let image = flexprot_asm::assemble_or_panic(PROGRAM);
+    let r = Machine::new(&image, SimConfig::default()).run();
+    assert_eq!(r.outcome, Outcome::Exit(0));
+    (image, r.output)
+}
+
+fn arb_placement() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::Uniform),
+        Just(Placement::Random),
+        Just(Placement::ColdestFirst),
+        Just(Placement::LoopHeaders),
+    ]
+}
+
+fn arb_granularity() -> impl Strategy<Value = Granularity> {
+    prop_oneof![
+        Just(Granularity::Program),
+        Just(Granularity::Function),
+        Just(Granularity::Block),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Guards at any density/placement/seed/key preserve program output,
+    /// and the monitor never false-positives on an untampered binary.
+    #[test]
+    fn guards_preserve_semantics(
+        density in 0.0f64..=1.0,
+        placement in arb_placement(),
+        seed in any::<u64>(),
+        key in any::<u64>(),
+        enforce_spacing in any::<bool>(),
+    ) {
+        let (image, expected) = baseline();
+        let config = ProtectionConfig::new().with_guards(GuardConfig {
+            key,
+            seed,
+            placement,
+            selection: Selection::Density(density),
+            enforce_spacing,
+        });
+        let protected = protect(&image, &config, None).expect("protect");
+        let r = protected.run(SimConfig::default());
+        prop_assert_eq!(&r.outcome, &Outcome::Exit(0), "{:?}", r.outcome);
+        prop_assert_eq!(r.output, expected);
+    }
+
+    /// Encryption at any granularity/key/latency model round-trips through
+    /// the fetch path.
+    #[test]
+    fn encryption_preserves_semantics(
+        master_key in any::<u64>(),
+        granularity in arb_granularity(),
+        cycles_per_word in 0u64..16,
+        startup in 0u64..16,
+        pipelined in any::<bool>(),
+    ) {
+        let (image, expected) = baseline();
+        let config = ProtectionConfig::new().with_encryption(EncryptConfig {
+            master_key,
+            granularity,
+            model: DecryptModel { cycles_per_word, startup, pipelined },
+            scope: None,
+        });
+        let protected = protect(&image, &config, None).expect("protect");
+        let r = protected.run(SimConfig::default());
+        prop_assert_eq!(&r.outcome, &Outcome::Exit(0), "{:?}", r.outcome);
+        prop_assert_eq!(r.output, expected);
+    }
+
+    /// Both layers combined preserve semantics, and cycles never decrease
+    /// relative to baseline.
+    #[test]
+    fn combined_layers_preserve_semantics(
+        density in 0.0f64..=1.0,
+        key in any::<u64>(),
+        granularity in arb_granularity(),
+    ) {
+        let (image, expected) = baseline();
+        let base_cycles = Machine::new(&image, SimConfig::default()).run().stats.cycles;
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig { key, ..GuardConfig::with_density(density) })
+            .with_encryption(EncryptConfig {
+                granularity,
+                ..EncryptConfig::whole_program(key.rotate_left(17))
+            });
+        let protected = protect(&image, &config, None).expect("protect");
+        let r = protected.run(SimConfig::default());
+        prop_assert_eq!(&r.outcome, &Outcome::Exit(0), "{:?}", r.outcome);
+        prop_assert_eq!(r.output, expected);
+        prop_assert!(r.stats.cycles >= base_cycles);
+    }
+
+    /// Static size overhead is exactly `guards * SIG_SYMBOLS` words.
+    #[test]
+    fn size_overhead_is_exact(density in 0.0f64..=1.0, seed in any::<u64>()) {
+        let (image, _) = baseline();
+        let config = ProtectionConfig::new().with_guards(GuardConfig {
+            seed,
+            ..GuardConfig::with_density(density)
+        });
+        let protected = protect(&image, &config, None).expect("protect");
+        prop_assert_eq!(
+            protected.image.text.len(),
+            image.text.len()
+                + protected.report.guards_inserted * flexprot_secmon::SIG_SYMBOLS as usize
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Canonical memory-map constants shared by the whole toolchain.
+
+/// Size of one instruction word in bytes.
+pub const WORD_BYTES: u32 = 4;
+
+/// Base address of the text (code) segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+
+/// Base address of the static data segment.
+pub const DATA_BASE: u32 = 0x1001_0000;
+
+/// Initial stack pointer (grows downward).
+pub const STACK_TOP: u32 = 0x7FFF_FFF0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_are_disjoint_and_aligned() {
+        assert_eq!(TEXT_BASE % WORD_BYTES, 0);
+        assert_eq!(DATA_BASE % WORD_BYTES, 0);
+        assert_eq!(STACK_TOP % WORD_BYTES, 0);
+        assert!(TEXT_BASE < DATA_BASE);
+        assert!(DATA_BASE < STACK_TOP);
+    }
+}

@@ -1,0 +1,47 @@
+//! SP32: a small 32-bit RISC instruction set architecture.
+//!
+//! SP32 is the target ISA of the `flexprot` hardware/software codesign
+//! protection toolchain. It is deliberately MIPS-flavoured: 32 general-purpose
+//! registers with `r0` hardwired to zero, fixed-width 32-bit instruction
+//! encodings, 16-bit immediates, PC-relative conditional branches and 26-bit
+//! absolute jumps. Those properties are exactly what the protection passes
+//! rely on:
+//!
+//! * fixed-width words make binary rewriting (guard insertion, relocation
+//!   patching) and fetch-path encryption word-aligned and deterministic;
+//! * the architectural no-op semantics of writes to `r0` let *register
+//!   guards* hide keyed signatures in the register-operand fields of
+//!   instructions that execute as no-ops.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — register names and conventions,
+//! * [`Inst`] — the structured instruction type with [`Inst::encode`] and
+//!   [`Inst::decode`],
+//! * [`Image`] — the program image (text/data segments, symbols and the
+//!   relocation table that makes post-link rewriting safe),
+//! * a disassembler via the [`std::fmt::Display`] impl on [`Inst`].
+//!
+//! # Example
+//!
+//! ```
+//! use flexprot_isa::{Inst, Reg};
+//!
+//! let inst = Inst::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 42 };
+//! let word = inst.encode();
+//! assert_eq!(Inst::decode(word)?, inst);
+//! assert_eq!(inst.to_string(), "addi $t0, $zero, 42");
+//! # Ok::<(), flexprot_isa::DecodeError>(())
+//! ```
+
+pub mod image;
+pub mod inst;
+pub mod layout;
+pub mod reg;
+pub mod serialize;
+
+pub use image::{Image, Reloc, RelocKind, Segment};
+pub use inst::{DecodeError, Inst};
+pub use layout::{DATA_BASE, STACK_TOP, TEXT_BASE, WORD_BYTES};
+pub use reg::Reg;
+pub use serialize::ImageFormatError;

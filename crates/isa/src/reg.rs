@@ -1,0 +1,203 @@
+//! General-purpose register names and calling conventions.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 SP32 general-purpose registers.
+///
+/// `$zero` (`r0`) is hardwired to zero: writes to it retire normally but are
+/// architecturally invisible. The register-guard protection exploits this to
+/// embed signature symbols in executable-but-inert instructions.
+///
+/// The software calling convention mirrors MIPS o32:
+///
+/// | Register | Role |
+/// |----------|------|
+/// | `$zero`  | constant zero |
+/// | `$at`    | assembler temporary |
+/// | `$v0-$v1`| return values, syscall selector |
+/// | `$a0-$a3`| arguments |
+/// | `$t0-$t9`| caller-saved temporaries |
+/// | `$s0-$s7`| callee-saved |
+/// | `$k0-$k1`| reserved (unused by the toolchain) |
+/// | `$gp`    | global pointer (unused) |
+/// | `$sp`    | stack pointer |
+/// | `$fp`    | frame pointer |
+/// | `$ra`    | return address |
+///
+/// # Example
+///
+/// ```
+/// use flexprot_isa::Reg;
+/// assert_eq!(Reg::from_index(4), Some(Reg::A0));
+/// assert_eq!(Reg::A0.to_string(), "$a0");
+/// assert_eq!("$sp".parse::<Reg>()?, Reg::SP);
+/// # Ok::<(), flexprot_isa::reg::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    pub const ZERO: Reg = Reg(0);
+    pub const AT: Reg = Reg(1);
+    pub const V0: Reg = Reg(2);
+    pub const V1: Reg = Reg(3);
+    pub const A0: Reg = Reg(4);
+    pub const A1: Reg = Reg(5);
+    pub const A2: Reg = Reg(6);
+    pub const A3: Reg = Reg(7);
+    pub const T0: Reg = Reg(8);
+    pub const T1: Reg = Reg(9);
+    pub const T2: Reg = Reg(10);
+    pub const T3: Reg = Reg(11);
+    pub const T4: Reg = Reg(12);
+    pub const T5: Reg = Reg(13);
+    pub const T6: Reg = Reg(14);
+    pub const T7: Reg = Reg(15);
+    pub const S0: Reg = Reg(16);
+    pub const S1: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    pub const T8: Reg = Reg(24);
+    pub const T9: Reg = Reg(25);
+    pub const K0: Reg = Reg(26);
+    pub const K1: Reg = Reg(27);
+    pub const GP: Reg = Reg(28);
+    pub const SP: Reg = Reg(29);
+    pub const FP: Reg = Reg(30);
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its numeric index.
+    ///
+    /// Returns `None` if `index >= 32`.
+    pub fn from_index(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Creates a register from the low five bits of `bits`, discarding the rest.
+    ///
+    /// Useful when unpacking instruction fields, which are five bits wide by
+    /// construction.
+    pub fn from_bits(bits: u32) -> Reg {
+        Reg((bits & 0x1F) as u8)
+    }
+
+    /// The numeric index, in `0..32`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The canonical ABI name, without the leading `$`.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses `$name`, `name`, `$rN` or `rN` forms.
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        let bare = s.strip_prefix('$').unwrap_or(s);
+        if let Some(reg) = Reg::all().find(|r| r.name() == bare) {
+            return Ok(reg);
+        }
+        if let Some(num) = bare.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
+            if let Some(reg) = Reg::from_index(num) {
+                return Ok(reg);
+            }
+        }
+        Err(ParseRegError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for i in 0..32 {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn from_bits_masks_high_bits() {
+        assert_eq!(Reg::from_bits(0x20), Reg::ZERO);
+        assert_eq!(Reg::from_bits(0x3F), Reg::RA);
+        assert_eq!(Reg::from_bits(4), Reg::A0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Reg::all().map(Reg::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 32);
+    }
+
+    #[test]
+    fn parse_accepts_all_forms() {
+        assert_eq!("$t3".parse::<Reg>().unwrap(), Reg::T3);
+        assert_eq!("t3".parse::<Reg>().unwrap(), Reg::T3);
+        assert_eq!("$r31".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("r0".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert!("$bogus".parse::<Reg>().is_err());
+        assert!("r32".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for r in Reg::all() {
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn abi_aliases_match_expected_indices() {
+        assert_eq!(Reg::V0.index(), 2);
+        assert_eq!(Reg::A0.index(), 4);
+        assert_eq!(Reg::T0.index(), 8);
+        assert_eq!(Reg::S0.index(), 16);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the instruction codec.
+
+use flexprot_isa::{Inst, Reg};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::from_index(i).expect("in range"))
+}
+
+/// Strategy over every instruction form.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let r = arb_reg;
+    prop_oneof![
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Sll { rd, rt, sh }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Srl { rd, rt, sh }),
+        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Sra { rd, rt, sh }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Sllv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srlv { rd, rt, rs }),
+        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srav { rd, rt, rs }),
+        r().prop_map(|rs| Inst::Jr { rs }),
+        (r(), r()).prop_map(|(rd, rs)| Inst::Jalr { rd, rs }),
+        Just(Inst::Syscall),
+        Just(Inst::Break),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Mul { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Div { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Rem { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Add { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sub { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Subu { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::And { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Or { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Xor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Slt { rd, rs, rt }),
+        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sltu { rd, rs, rt }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Slti { rt, rs, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Sltiu { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Andi { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Ori { rt, rs, imm }),
+        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
+        (r(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lb { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lh { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lw { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lbu { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lhu { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sb { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sh { rt, off, base }),
+        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sw { rt, off, base }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Beq { rs, rt, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Bne { rs, rt, off }),
+        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Blez { rs, off }),
+        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bgtz { rs, off }),
+        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bltz { rs, off }),
+        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bgez { rs, off }),
+        (0u32..(1 << 26)).prop_map(|target| Inst::J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Inst::Jal { target }),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction survives encode→decode.
+    #[test]
+    fn encode_decode_round_trip(inst in arb_inst()) {
+        let word = inst.encode();
+        prop_assert_eq!(Inst::decode(word), Ok(inst));
+    }
+
+    /// The decoder accepts exactly the image of the encoder: any decodable
+    /// word re-encodes to itself.
+    #[test]
+    fn decoder_is_exact(word in any::<u32>()) {
+        if let Ok(inst) = Inst::decode(word) {
+            prop_assert_eq!(inst.encode(), word);
+        }
+    }
+
+    /// Branch-target arithmetic inverts offset encoding.
+    #[test]
+    fn branch_target_round_trip(off in any::<i16>(), pc_words in 0u32..(1 << 20)) {
+        let pc = 0x0040_0000 + pc_words * 4;
+        let inst = Inst::Beq { rs: Reg::T0, rt: Reg::T1, off };
+        let target = inst.branch_target(pc).expect("branch");
+        let recovered = (i64::from(target) - i64::from(pc) - 4) / 4;
+        prop_assert_eq!(recovered, i64::from(off));
+    }
+
+    /// `def`/`uses` never return out-of-range registers and stay stable
+    /// across an encode/decode cycle.
+    #[test]
+    fn def_uses_stable(inst in arb_inst()) {
+        let decoded = Inst::decode(inst.encode()).expect("round trip");
+        prop_assert_eq!(decoded.def(), inst.def());
+        prop_assert_eq!(decoded.uses(), inst.uses());
+    }
+
+    /// Display output is non-empty and starts with the mnemonic.
+    #[test]
+    fn display_leads_with_mnemonic(inst in arb_inst()) {
+        let text = inst.to_string();
+        prop_assert!(text.starts_with(inst.mnemonic()));
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-address keystream cipher and the encrypted-region table.
+//!
+//! Text words are encrypted as `cipher = plain ^ keystream(key, addr)`.
+//! Because the keystream depends only on the key and the word address, the
+//! hardware can decrypt cache-line fills in a single pass with no chaining
+//! state — the property that makes fetch-path decryption pipelineable.
+//!
+//! The underlying PRF is SplitMix64, which is emphatically **not** a
+//! cryptographic cipher; it stands in for the block cipher of real hardware
+//! (the experiments study *cost*, not cryptanalysis — see DESIGN.md).
+
+use std::fmt;
+
+/// SplitMix64 finaliser, used as the keyed PRF.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The 32-bit keystream word for `addr` under `key`.
+///
+/// # Example
+///
+/// ```
+/// use flexprot_secmon::keystream;
+/// let k = keystream(42, 0x0040_0000);
+/// assert_eq!(k, keystream(42, 0x0040_0000)); // deterministic
+/// assert_ne!(k, keystream(42, 0x0040_0004)); // address-dependent
+/// assert_ne!(k, keystream(43, 0x0040_0000)); // key-dependent
+/// ```
+pub fn keystream(key: u64, addr: u32) -> u32 {
+    (splitmix64(key ^ (u64::from(addr) << 1) ^ 0xA5A5_5A5A_F00D_BEEF) & 0xFFFF_FFFF) as u32
+}
+
+/// Derives a region subkey from a master key and the region's start address.
+///
+/// Used for per-function and per-block keying granularities.
+pub fn derive_subkey(master: u64, region_start: u32) -> u64 {
+    splitmix64(master ^ (u64::from(region_start) << 17))
+}
+
+/// One encrypted address range `[start, end)` with its key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncRegion {
+    /// First encrypted byte address (word-aligned).
+    pub start: u32,
+    /// One past the last encrypted byte address (word-aligned).
+    pub end: u32,
+    /// Keystream key for this region.
+    pub key: u64,
+}
+
+impl EncRegion {
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.start && addr < self.end
+    }
+}
+
+impl fmt::Display for EncRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#010x}, {:#010x})", self.start, self.end)
+    }
+}
+
+/// A sorted, non-overlapping set of encrypted regions with binary-search
+/// lookup — the hardware's region CAM.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegionTable {
+    regions: Vec<EncRegion>,
+}
+
+impl RegionTable {
+    /// Builds a table, sorting the regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any region is empty, unaligned, or overlaps another — such
+    /// a table would be a toolchain bug, not a runtime condition. Use
+    /// [`RegionTable::try_new`] for untrusted input.
+    pub fn new(regions: Vec<EncRegion>) -> RegionTable {
+        match RegionTable::try_new(regions) {
+            Ok(table) => table,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Fallible constructor for untrusted region lists.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first empty, unaligned or overlapping region found.
+    pub fn try_new(mut regions: Vec<EncRegion>) -> Result<RegionTable, String> {
+        regions.sort_by_key(|r| r.start);
+        for r in &regions {
+            if r.start >= r.end {
+                return Err(format!("empty or inverted region {r}"));
+            }
+            if r.start % 4 != 0 || r.end % 4 != 0 {
+                return Err(format!("unaligned region {r}"));
+            }
+        }
+        for pair in regions.windows(2) {
+            if pair[0].end > pair[1].start {
+                return Err(format!(
+                    "overlapping regions {} and {}",
+                    pair[0], pair[1]
+                ));
+            }
+        }
+        Ok(RegionTable { regions })
+    }
+
+    /// Whether the table is empty (no encryption configured).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The regions in ascending address order.
+    pub fn regions(&self) -> &[EncRegion] {
+        &self.regions
+    }
+
+    /// Finds the region containing `addr`, if any.
+    pub fn lookup(&self, addr: u32) -> Option<&EncRegion> {
+        let idx = self.regions.partition_point(|r| r.end <= addr);
+        self.regions.get(idx).filter(|r| r.contains(addr))
+    }
+
+    /// Number of encrypted words within the line `[line_addr,
+    /// line_addr + 4*line_words)`.
+    pub fn encrypted_words_in_line(&self, line_addr: u32, line_words: u32) -> u32 {
+        (0..line_words)
+            .filter(|i| self.lookup(line_addr + 4 * i).is_some())
+            .count() as u32
+    }
+
+    /// Applies the keystream to `word` at `addr`: encrypts plaintext or
+    /// decrypts ciphertext (XOR is its own inverse). Identity outside every
+    /// region.
+    pub fn apply(&self, addr: u32, word: u32) -> u32 {
+        match self.lookup(addr) {
+            Some(region) => word ^ keystream(region.key, addr),
+            None => word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keystream_spreads_bits() {
+        // Adjacent addresses must give very different keystream words.
+        let a = keystream(1, 0x0040_0000);
+        let b = keystream(1, 0x0040_0004);
+        assert!((a ^ b).count_ones() >= 8, "{a:#x} vs {b:#x}");
+    }
+
+    #[test]
+    fn apply_is_involutive() {
+        let table = RegionTable::new(vec![EncRegion {
+            start: 0x0040_0000,
+            end: 0x0040_0100,
+            key: 7,
+        }]);
+        let plain = 0x2108_000A;
+        let addr = 0x0040_0010;
+        let cipher = table.apply(addr, plain);
+        assert_ne!(cipher, plain);
+        assert_eq!(table.apply(addr, cipher), plain);
+    }
+
+    #[test]
+    fn apply_is_identity_outside_regions() {
+        let table = RegionTable::new(vec![EncRegion {
+            start: 0x0040_0000,
+            end: 0x0040_0010,
+            key: 7,
+        }]);
+        assert_eq!(table.apply(0x0040_0010, 123), 123);
+        assert_eq!(table.apply(0x003F_FFFC, 123), 123);
+    }
+
+    #[test]
+    fn lookup_finds_correct_region() {
+        let table = RegionTable::new(vec![
+            EncRegion {
+                start: 0x100,
+                end: 0x200,
+                key: 1,
+            },
+            EncRegion {
+                start: 0x300,
+                end: 0x400,
+                key: 2,
+            },
+        ]);
+        assert_eq!(table.lookup(0x100).unwrap().key, 1);
+        assert_eq!(table.lookup(0x1FC).unwrap().key, 1);
+        assert!(table.lookup(0x200).is_none());
+        assert_eq!(table.lookup(0x300).unwrap().key, 2);
+        assert!(table.lookup(0x400).is_none());
+        assert!(table.lookup(0).is_none());
+    }
+
+    #[test]
+    fn encrypted_words_in_line_counts_partial_overlap() {
+        let table = RegionTable::new(vec![EncRegion {
+            start: 0x110,
+            end: 0x120,
+            key: 1,
+        }]);
+        // 32-byte line at 0x100: words 0x100..0x120, of which 0x110..0x120
+        // (4 words) are encrypted.
+        assert_eq!(table.encrypted_words_in_line(0x100, 8), 4);
+        assert_eq!(table.encrypted_words_in_line(0x120, 8), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlapping_regions_panic() {
+        RegionTable::new(vec![
+            EncRegion {
+                start: 0x100,
+                end: 0x200,
+                key: 1,
+            },
+            EncRegion {
+                start: 0x1FC,
+                end: 0x300,
+                key: 2,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_region_panics() {
+        RegionTable::new(vec![EncRegion {
+            start: 0x101,
+            end: 0x200,
+            key: 1,
+        }]);
+    }
+
+    #[test]
+    fn subkeys_differ_per_region() {
+        assert_ne!(derive_subkey(5, 0x400000), derive_subkey(5, 0x400020));
+        assert_ne!(derive_subkey(5, 0x400000), derive_subkey(6, 0x400000));
+        assert_eq!(derive_subkey(5, 0x400000), derive_subkey(5, 0x400000));
+    }
+}

@@ -1,0 +1,288 @@
+//! Register guards: the keyed window hash and the symbol encoding.
+//!
+//! A guard is a run of [`SIG_SYMBOLS`] semantically neutral instructions
+//! (each writes `$zero`) whose register-operand fields together spell a
+//! 32-bit signature. The signature is the keyed hash of the *window* — the
+//! straight-line instructions of the guarded basic block that precede the
+//! guard. The hardware recomputes the hash as instructions commit and
+//! compares it against the symbols it extracts from the guard instructions
+//! themselves, so the signature travels **inside the binary** and the
+//! hardware only needs the key and the guard-site schedule.
+//!
+//! Tampering with any window instruction, with the guard instructions, or
+//! with control flow into the window changes either the computed hash or
+//! the decoded signature and trips verification.
+
+use flexprot_isa::{Inst, Reg};
+
+/// Number of instructions in one guard sequence (8 signature bits each).
+pub const SIG_SYMBOLS: u32 = 4;
+
+/// Keyed rolling hash over `(address, word)` pairs of committed
+/// instructions.
+///
+/// The hash is position-binding: relocating a window without re-signing it
+/// changes the digest even if the instruction bytes are identical.
+///
+/// # Example
+///
+/// ```
+/// use flexprot_secmon::WindowHasher;
+///
+/// let mut h = WindowHasher::new(0x1234);
+/// h.absorb(0x0040_0000, 0x2108_0001);
+/// h.absorb(0x0040_0004, 0x2108_0002);
+/// let sig = h.digest();
+/// let mut h2 = WindowHasher::new(0x1234);
+/// h2.absorb(0x0040_0000, 0x2108_0001);
+/// h2.absorb(0x0040_0004, 0x2108_0002);
+/// assert_eq!(h2.digest(), sig);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowHasher {
+    key: u64,
+    state: u64,
+}
+
+impl WindowHasher {
+    /// Creates a hasher seeded with the guard key.
+    pub fn new(key: u64) -> WindowHasher {
+        let mut h = WindowHasher { key, state: 0 };
+        h.reset();
+        h
+    }
+
+    /// Resets to the start-of-window state (hardware does this on every pc
+    /// discontinuity and at every registered window start).
+    pub fn reset(&mut self) {
+        self.state = self.key ^ 0x6A09_E667_F3BC_C908;
+    }
+
+    /// Absorbs one committed instruction.
+    pub fn absorb(&mut self, addr: u32, word: u32) {
+        let input = (u64::from(addr) << 32) | u64::from(word);
+        self.state ^= input;
+        self.state = self.state.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.state = self.state.rotate_left(29) ^ (self.state >> 17);
+    }
+
+    /// The 32-bit signature of everything absorbed since the last reset.
+    pub fn digest(&self) -> u32 {
+        let folded = self.state ^ self.state.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        ((folded >> 32) ^ folded) as u32
+    }
+
+    /// Convenience: hash of a full window given as `(start_addr, words)`.
+    pub fn hash_window(key: u64, start_addr: u32, words: &[u32]) -> u32 {
+        let mut h = WindowHasher::new(key);
+        for (i, &w) in words.iter().enumerate() {
+            h.absorb(start_addr + 4 * i as u32, w);
+        }
+        h.digest()
+    }
+}
+
+/// The pool of guard opcodes. All write `$zero`, so any choice is an
+/// architectural no-op; the variety exists to diversify the byte patterns.
+fn guard_op(selector: u8, rs: Reg, rt: Reg) -> Inst {
+    let rd = Reg::ZERO;
+    match selector % 6 {
+        0 => Inst::Addu { rd, rs, rt },
+        1 => Inst::Or { rd, rs, rt },
+        2 => Inst::Xor { rd, rs, rt },
+        3 => Inst::And { rd, rs, rt },
+        4 => Inst::Sltu { rd, rs, rt },
+        _ => Inst::Nor { rd, rs, rt },
+    }
+}
+
+/// Encodes one 8-bit signature symbol as a guard instruction.
+///
+/// The symbol is carried in `rs` (high 5 bits) and the low 3 bits of `rt`;
+/// `salt` picks the opcode and the free high bits of `rt`, letting the
+/// emitter diversify consecutive guards.
+pub fn encode_guard_inst(symbol: u8, salt: u8) -> Inst {
+    let rs = Reg::from_bits(u32::from(symbol) >> 3);
+    let rt = Reg::from_bits(u32::from(symbol & 0x7) | (u32::from(salt & 0x3) << 3));
+    guard_op(salt >> 2, rs, rt)
+}
+
+/// Extracts the 8-bit signature symbol from a committed guard word.
+///
+/// Works on the raw encoding so the hardware needs no full decoder: the
+/// `rs`/`rt` fields sit at fixed bit positions in every R-type word.
+pub fn decode_guard_symbol(word: u32) -> u8 {
+    let rs = (word >> 21) & 0x1F;
+    let rt = (word >> 16) & 0x7;
+    ((rs << 3) | rt) as u8
+}
+
+/// Whether a committed word has the *shape* of a guard instruction:
+/// R-type, `rd == $zero`, `shamt == 0`, funct from the guard pool.
+///
+/// The signature symbols live only in the `rs`/`rt` fields, so without
+/// this check an attacker could flip, say, an `rd` bit — turning the inert
+/// guard into an instruction that clobbers a live register — while the
+/// embedded signature still verified. The hardware therefore rejects any
+/// word at a guard site that is not of guard shape.
+pub fn is_guard_form(word: u32) -> bool {
+    let opcode = word >> 26;
+    let rd = (word >> 11) & 0x1F;
+    let sh = (word >> 6) & 0x1F;
+    let funct = word & 0x3F;
+    opcode == 0
+        && rd == 0
+        && sh == 0
+        && matches!(funct, 0x21 | 0x24 | 0x25 | 0x26 | 0x27 | 0x2B)
+}
+
+/// Splits a 32-bit signature into its [`SIG_SYMBOLS`] little-endian symbols.
+pub fn signature_symbols(sig: u32) -> [u8; SIG_SYMBOLS as usize] {
+    sig.to_le_bytes()
+}
+
+/// Reassembles a signature from observed symbols.
+pub fn signature_from_symbols(symbols: &[u8]) -> u32 {
+    let mut bytes = [0u8; 4];
+    bytes[..symbols.len().min(4)].copy_from_slice(&symbols[..symbols.len().min(4)]);
+    u32::from_le_bytes(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_key_sensitive() {
+        let words = [0x1234_5678, 0x9ABC_DEF0, 0x0BAD_F00D];
+        let a = WindowHasher::hash_window(1, 0x400000, &words);
+        let b = WindowHasher::hash_window(1, 0x400000, &words);
+        let c = WindowHasher::hash_window(2, 0x400000, &words);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_is_position_binding() {
+        let words = [0x1234_5678, 0x9ABC_DEF0];
+        let a = WindowHasher::hash_window(1, 0x400000, &words);
+        let b = WindowHasher::hash_window(1, 0x400010, &words);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_detects_single_bit_flip() {
+        let words = [0x1234_5678, 0x9ABC_DEF0, 0x0BAD_F00D];
+        let base = WindowHasher::hash_window(1, 0x400000, &words);
+        for i in 0..words.len() {
+            for bit in [0u32, 7, 16, 31] {
+                let mut mutated = words;
+                mutated[i] ^= 1 << bit;
+                assert_ne!(
+                    WindowHasher::hash_window(1, 0x400000, &mutated),
+                    base,
+                    "flip word {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_detects_reordering_and_truncation() {
+        let words = [1u32, 2, 3];
+        let swapped = [2u32, 1, 3];
+        let base = WindowHasher::hash_window(9, 0x400000, &words);
+        assert_ne!(WindowHasher::hash_window(9, 0x400000, &swapped), base);
+        assert_ne!(WindowHasher::hash_window(9, 0x400000, &words[..2]), base);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = WindowHasher::new(5);
+        let initial = h.digest();
+        h.absorb(0x400000, 0xFFFF_FFFF);
+        assert_ne!(h.digest(), initial);
+        h.reset();
+        assert_eq!(h.digest(), initial);
+    }
+
+    #[test]
+    fn guard_symbols_round_trip_for_all_values() {
+        for symbol in 0..=255u8 {
+            for salt in 0..24u8 {
+                let inst = encode_guard_inst(symbol, salt);
+                let word = inst.encode();
+                assert_eq!(
+                    decode_guard_symbol(word),
+                    symbol,
+                    "symbol {symbol} salt {salt} via {inst}"
+                );
+                // Guard instructions must be valid and architecturally inert.
+                let decoded = Inst::decode(word).expect("guard word must decode");
+                assert_eq!(decoded.def(), Some(Reg::ZERO));
+            }
+        }
+    }
+
+    #[test]
+    fn salt_diversifies_encodings() {
+        let words: std::collections::BTreeSet<u32> = (0..24u8)
+            .map(|salt| encode_guard_inst(0xAB, salt).encode())
+            .collect();
+        assert!(words.len() > 6, "expected diverse encodings, got {words:?}");
+    }
+
+    #[test]
+    fn signature_symbol_round_trip() {
+        let sig = 0xDEAD_BEEF;
+        let symbols = signature_symbols(sig);
+        assert_eq!(signature_from_symbols(&symbols), sig);
+    }
+
+    #[test]
+    fn digest_distribution_smoke() {
+        // Hashes of distinct windows should rarely collide.
+        let mut digests = std::collections::BTreeSet::new();
+        for i in 0..1000u32 {
+            digests.insert(WindowHasher::hash_window(7, 0x400000, &[i, i ^ 0xFFFF]));
+        }
+        assert!(digests.len() >= 998, "too many collisions: {}", digests.len());
+    }
+}
+
+#[cfg(test)]
+mod form_tests {
+    use super::*;
+
+    #[test]
+    fn emitted_guards_pass_the_form_check() {
+        for symbol in [0u8, 1, 0x7F, 0xAB, 0xFF] {
+            for salt in 0..32u8 {
+                let word = encode_guard_inst(symbol, salt).encode();
+                assert!(is_guard_form(word), "symbol {symbol} salt {salt}");
+            }
+        }
+    }
+
+    #[test]
+    fn rd_mutation_fails_the_form_check() {
+        let word = encode_guard_inst(0x3C, 5).encode();
+        for bit in 11..16 {
+            assert!(!is_guard_form(word ^ (1 << bit)), "rd bit {bit}");
+        }
+    }
+
+    #[test]
+    fn non_guard_instructions_fail_the_form_check() {
+        use flexprot_isa::{Inst, Reg};
+        assert!(!is_guard_form(Inst::NOP.encode()));
+        assert!(!is_guard_form(Inst::Syscall.encode()));
+        assert!(!is_guard_form(
+            Inst::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 1 }.encode()
+        ));
+        // Same funct but writes a real register.
+        assert!(!is_guard_form(
+            Inst::Addu { rd: Reg::AT, rs: Reg::T0, rt: Reg::T1 }.encode()
+        ));
+    }
+}

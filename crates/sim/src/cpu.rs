@@ -1,0 +1,777 @@
+//! The in-order CPU model and top-level [`Machine`].
+
+use flexprot_isa::{Image, Inst, Reg, STACK_TOP};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::mem::Memory;
+use crate::monitor::{FetchMonitor, NullMonitor, TamperEvent};
+use crate::stats::{Fault, Stats};
+
+/// Simulator parameters: cache geometries, latencies and limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// Data cache geometry.
+    pub dcache: CacheConfig,
+    /// Cycles for the first word of a memory access (miss latency).
+    pub mem_latency: u64,
+    /// Cycles per additional word of a burst fill.
+    pub burst_word_cycles: u64,
+    /// Extra cycles for `mul`.
+    pub mul_extra: u64,
+    /// Extra cycles for `div`/`rem`.
+    pub div_extra: u64,
+    /// Instruction budget; exceeding it yields [`Outcome::OutOfFuel`].
+    pub max_instructions: u64,
+    /// Record per-pc execution counts and per-line miss counts.
+    pub profile: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            icache: CacheConfig::default_icache(),
+            dcache: CacheConfig::default_dcache(),
+            mem_latency: 20,
+            burst_word_cycles: 2,
+            mul_extra: 3,
+            div_extra: 15,
+            max_instructions: 200_000_000,
+            profile: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with profiling enabled.
+    pub fn with_profile(mut self) -> SimConfig {
+        self.profile = true;
+        self
+    }
+}
+
+/// How a simulation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The program called the exit syscall with this code.
+    Exit(i32),
+    /// The secure monitor raised a tamper event.
+    TamperDetected(TamperEvent),
+    /// Execution faulted.
+    Fault(Fault),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+}
+
+impl Outcome {
+    /// True for a clean `Exit(0)`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Exit(0))
+    }
+}
+
+/// Everything a finished simulation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// How execution ended.
+    pub outcome: Outcome,
+    /// Performance counters.
+    pub stats: Stats,
+    /// Captured console output.
+    pub output: String,
+}
+
+/// A complete simulated system: CPU, caches, memory and a fetch monitor.
+///
+/// The monitor type parameter defaults to [`NullMonitor`] (no protection
+/// hardware). The secure monitor from `flexprot-secmon` implements
+/// [`FetchMonitor`] and slots in here.
+#[derive(Debug, Clone)]
+pub struct Machine<M: FetchMonitor = NullMonitor> {
+    regs: [u32; 32],
+    pc: u32,
+    prev_pc: Option<u32>,
+    mem: Memory,
+    icache: Cache,
+    dcache: Cache,
+    stats: Stats,
+    output: String,
+    config: SimConfig,
+    monitor: M,
+    text_base: u32,
+    text_end: u32,
+}
+
+impl Machine<NullMonitor> {
+    /// Builds an unprotected machine loaded with `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache geometry in `config` is invalid.
+    pub fn new(image: &Image, config: SimConfig) -> Machine<NullMonitor> {
+        Machine::with_monitor(image, config, NullMonitor)
+    }
+}
+
+impl<M: FetchMonitor> Machine<M> {
+    /// Builds a machine with the given fetch-path monitor attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache geometry in `config` is invalid.
+    pub fn with_monitor(image: &Image, config: SimConfig, monitor: M) -> Machine<M> {
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.index() as usize] = STACK_TOP;
+        regs[Reg::FP.index() as usize] = STACK_TOP;
+        Machine {
+            regs,
+            pc: image.entry,
+            prev_pc: None,
+            mem: Memory::load(image),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            stats: Stats::default(),
+            output: String::new(),
+            config,
+            monitor,
+            text_base: image.text_base,
+            text_end: image.text_end(),
+        }
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, value: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    /// Read access to the monitor (e.g. to inspect verification counters).
+    pub fn monitor(&self) -> &M {
+        &self.monitor
+    }
+
+    /// Runs until exit, fault, tamper detection or fuel exhaustion.
+    pub fn run(&mut self) -> RunResult {
+        let outcome = self.run_inner();
+        RunResult {
+            outcome,
+            stats: self.stats.clone(),
+            output: self.output.clone(),
+        }
+    }
+
+    fn run_inner(&mut self) -> Outcome {
+        loop {
+            if self.stats.instructions >= self.config.max_instructions {
+                return Outcome::OutOfFuel;
+            }
+            let pc = self.pc;
+            if pc % 4 != 0 || pc < self.text_base || pc >= self.text_end {
+                return Outcome::Fault(Fault::WildPc { pc });
+            }
+
+            // --- fetch ---
+            self.stats.cycles += 1;
+            self.stats.icache_accesses += 1;
+            let access = self.icache.access(pc, false);
+            if !access.hit {
+                self.stats.icache_misses += 1;
+                let line_words = u64::from(self.config.icache.line_words());
+                let fill =
+                    self.config.mem_latency + self.config.burst_word_cycles * (line_words - 1);
+                self.stats.cycles += fill;
+                let penalty = self
+                    .monitor
+                    .fill_penalty(access.line_addr, line_words as u32);
+                self.stats.monitor_fill_cycles += penalty;
+                self.stats.cycles += penalty;
+                if self.config.profile {
+                    *self.stats.imiss_counts.entry(access.line_addr).or_insert(0) += 1;
+                }
+            }
+            let raw = self.mem.read_u32(pc);
+            let word = self.monitor.transform_fetch(pc, raw);
+            let inst = match Inst::decode(word) {
+                Ok(inst) => inst,
+                Err(_) => return Outcome::Fault(Fault::IllegalInstruction { pc, word }),
+            };
+
+            // --- commit observation (guard verification) ---
+            let sequential = self.prev_pc == Some(pc.wrapping_sub(4));
+            if let Some(event) = self.monitor.observe_commit(pc, word, sequential) {
+                return Outcome::TamperDetected(event);
+            }
+            self.stats.instructions += 1;
+            if self.config.profile {
+                *self.stats.exec_counts.entry(pc).or_insert(0) += 1;
+            }
+            self.prev_pc = Some(pc);
+
+            // --- execute ---
+            match self.execute(pc, inst) {
+                Step::Next => self.pc = pc.wrapping_add(4),
+                Step::Goto(target) => {
+                    self.stats.taken_transfers += 1;
+                    self.pc = target;
+                }
+                Step::Stop(outcome) => return outcome,
+            }
+        }
+    }
+
+    fn data_access(&mut self, addr: u32, write: bool) {
+        self.stats.dcache_accesses += 1;
+        let access = self.dcache.access(addr, write);
+        if !access.hit {
+            self.stats.dcache_misses += 1;
+            let line_words = u64::from(self.config.dcache.line_words());
+            self.stats.cycles +=
+                self.config.mem_latency + self.config.burst_word_cycles * (line_words - 1);
+        }
+        if access.writeback.is_some() {
+            self.stats.dcache_writebacks += 1;
+            self.stats.cycles +=
+                self.config.burst_word_cycles * u64::from(self.config.dcache.line_words());
+        }
+    }
+
+    fn execute(&mut self, pc: u32, inst: Inst) -> Step {
+        use Inst::*;
+        let branch = |cond: bool, off: i16| -> Step {
+            if cond {
+                Step::Goto(pc.wrapping_add(4).wrapping_add(((off as i32) << 2) as u32))
+            } else {
+                Step::Next
+            }
+        };
+        match inst {
+            Sll { rd, rt, sh } => self.set_reg(rd, self.reg(rt) << sh),
+            Srl { rd, rt, sh } => self.set_reg(rd, self.reg(rt) >> sh),
+            Sra { rd, rt, sh } => self.set_reg(rd, ((self.reg(rt) as i32) >> sh) as u32),
+            Sllv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) << (self.reg(rs) & 31)),
+            Srlv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) >> (self.reg(rs) & 31)),
+            Srav { rd, rt, rs } => {
+                self.set_reg(rd, ((self.reg(rt) as i32) >> (self.reg(rs) & 31)) as u32)
+            }
+            Jr { rs } => return Step::Goto(self.reg(rs)),
+            Jalr { rd, rs } => {
+                let target = self.reg(rs);
+                self.set_reg(rd, pc.wrapping_add(4));
+                return Step::Goto(target);
+            }
+            Syscall => return self.syscall(pc),
+            Break => return Step::Stop(Outcome::Fault(Fault::Break { pc })),
+            Mul { rd, rs, rt } => {
+                self.stats.cycles += self.config.mul_extra;
+                self.set_reg(rd, self.reg(rs).wrapping_mul(self.reg(rt)));
+            }
+            Div { rd, rs, rt } => {
+                self.stats.cycles += self.config.div_extra;
+                let (a, b) = (self.reg(rs) as i32, self.reg(rt) as i32);
+                self.set_reg(rd, if b == 0 { 0 } else { a.wrapping_div(b) as u32 });
+            }
+            Rem { rd, rs, rt } => {
+                self.stats.cycles += self.config.div_extra;
+                let (a, b) = (self.reg(rs) as i32, self.reg(rt) as i32);
+                self.set_reg(rd, if b == 0 { 0 } else { a.wrapping_rem(b) as u32 });
+            }
+            Add { rd, rs, rt } | Addu { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)))
+            }
+            Sub { rd, rs, rt } | Subu { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)))
+            }
+            And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
+            Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
+            Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
+            Nor { rd, rs, rt } => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))),
+            Slt { rd, rs, rt } => self.set_reg(
+                rd,
+                u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)),
+            ),
+            Sltu { rd, rs, rt } => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))),
+            Addi { rt, rs, imm } => {
+                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32))
+            }
+            Slti { rt, rs, imm } => {
+                self.set_reg(rt, u32::from((self.reg(rs) as i32) < i32::from(imm)))
+            }
+            Sltiu { rt, rs, imm } => {
+                self.set_reg(rt, u32::from(self.reg(rs) < (imm as i32 as u32)))
+            }
+            Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & u32::from(imm)),
+            Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | u32::from(imm)),
+            Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ u32::from(imm)),
+            Lui { rt, imm } => self.set_reg(rt, u32::from(imm) << 16),
+            Lb { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                self.data_access(addr, false);
+                self.set_reg(rt, self.mem.read_u8(addr) as i8 as i32 as u32);
+            }
+            Lbu { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                self.data_access(addr, false);
+                self.set_reg(rt, u32::from(self.mem.read_u8(addr)));
+            }
+            Lh { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                if addr % 2 != 0 {
+                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
+                }
+                self.data_access(addr, false);
+                self.set_reg(rt, self.mem.read_u16(addr) as i16 as i32 as u32);
+            }
+            Lhu { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                if addr % 2 != 0 {
+                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
+                }
+                self.data_access(addr, false);
+                self.set_reg(rt, u32::from(self.mem.read_u16(addr)));
+            }
+            Lw { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                if addr % 4 != 0 {
+                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
+                }
+                self.data_access(addr, false);
+                self.set_reg(rt, self.mem.read_u32(addr));
+            }
+            Sb { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                self.data_access(addr, true);
+                self.mem.write_u8(addr, self.reg(rt) as u8);
+            }
+            Sh { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                if addr % 2 != 0 {
+                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
+                }
+                self.data_access(addr, true);
+                self.mem.write_u16(addr, self.reg(rt) as u16);
+            }
+            Sw { rt, off, base } => {
+                let addr = self.reg(base).wrapping_add(off as i32 as u32);
+                if addr % 4 != 0 {
+                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
+                }
+                self.data_access(addr, true);
+                self.mem.write_u32(addr, self.reg(rt));
+            }
+            Beq { rs, rt, off } => return branch(self.reg(rs) == self.reg(rt), off),
+            Bne { rs, rt, off } => return branch(self.reg(rs) != self.reg(rt), off),
+            Blez { rs, off } => return branch(self.reg(rs) as i32 <= 0, off),
+            Bgtz { rs, off } => return branch(self.reg(rs) as i32 > 0, off),
+            Bltz { rs, off } => return branch((self.reg(rs) as i32) < 0, off),
+            Bgez { rs, off } => return branch(self.reg(rs) as i32 >= 0, off),
+            J { target } => return Step::Goto(target << 2),
+            Jal { target } => {
+                self.set_reg(Reg::RA, pc.wrapping_add(4));
+                return Step::Goto(target << 2);
+            }
+        }
+        Step::Next
+    }
+
+    fn syscall(&mut self, pc: u32) -> Step {
+        self.stats.syscalls += 1;
+        let service = self.reg(Reg::V0);
+        let a0 = self.reg(Reg::A0);
+        match service {
+            1 => self.output.push_str(&(a0 as i32).to_string()),
+            4 => {
+                let bytes = self.mem.read_cstr(a0, 1 << 16);
+                self.output.push_str(&String::from_utf8_lossy(&bytes));
+            }
+            10 => return Step::Stop(Outcome::Exit(0)),
+            11 => self.output.push((a0 as u8) as char),
+            17 => return Step::Stop(Outcome::Exit(a0 as i32)),
+            34 => self.output.push_str(&format!("{a0:08x}")),
+            other => {
+                return Step::Stop(Outcome::Fault(Fault::BadSyscall {
+                    pc,
+                    service: other,
+                }))
+            }
+        }
+        Step::Next
+    }
+}
+
+enum Step {
+    Next,
+    Goto(u32),
+    Stop(Outcome),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> RunResult {
+        let image = flexprot_asm::assemble_or_panic(src);
+        Machine::new(&image, SimConfig::default()).run()
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let r = run(r#"
+main:   li  $t0, 21
+        li  $t1, 2
+        mul $a0, $t0, $t1
+        li  $v0, 1
+        syscall
+        li  $v0, 10
+        syscall
+"#);
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, "42");
+    }
+
+    #[test]
+    fn exit_code_propagates() {
+        let r = run("main: li $a0, 3\n li $v0, 17\n syscall\n");
+        assert_eq!(r.outcome, Outcome::Exit(3));
+        assert!(!r.outcome.is_success());
+    }
+
+    #[test]
+    fn loop_sums_to_n() {
+        let r = run(r#"
+main:   li   $t0, 0          # sum
+        li   $t1, 1          # i
+        li   $t2, 100        # n
+loop:   bgt  $t1, $t2, done
+        addu $t0, $t0, $t1
+        addi $t1, $t1, 1
+        b    loop
+done:   move $a0, $t0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#);
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, "5050");
+    }
+
+    #[test]
+    fn memory_and_stack() {
+        let r = run(r#"
+        .data
+arr:    .word 5, 6, 7
+        .text
+main:   la   $t0, arr
+        lw   $t1, 4($t0)      # 6
+        addi $sp, $sp, -4
+        sw   $t1, 0($sp)
+        lw   $a0, 0($sp)
+        addi $sp, $sp, 4
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#);
+        assert_eq!(r.output, "6");
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let r = run(r#"
+main:   li   $a0, 5
+        jal  double
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+double: addu $v0, $a0, $a0
+        jr   $ra
+"#);
+        assert_eq!(r.output, "10");
+    }
+
+    #[test]
+    fn recursion_factorial() {
+        let r = run(r#"
+main:   li   $a0, 6
+        jal  fact
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+fact:   addi $sp, $sp, -8
+        sw   $ra, 4($sp)
+        sw   $a0, 0($sp)
+        li   $v0, 1
+        blez $a0, fact_done
+        addi $a0, $a0, -1
+        jal  fact
+        lw   $a0, 0($sp)
+        mul  $v0, $v0, $a0
+fact_done:
+        lw   $ra, 4($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+"#);
+        assert_eq!(r.output, "720");
+    }
+
+    #[test]
+    fn print_services() {
+        let r = run(r#"
+        .data
+msg:    .asciiz "x="
+        .text
+main:   la  $a0, msg
+        li  $v0, 4
+        syscall
+        li  $a0, -7
+        li  $v0, 1
+        syscall
+        li  $a0, '\n'
+        li  $v0, 11
+        syscall
+        li  $a0, 0xFF
+        li  $v0, 34
+        syscall
+        li  $v0, 10
+        syscall
+"#);
+        assert_eq!(r.output, "x=-7\n000000ff");
+    }
+
+    #[test]
+    fn signed_ops() {
+        let r = run(r#"
+main:   li   $t0, -8
+        li   $t1, 3
+        div  $t2, $t0, $t1    # -2
+        rem  $t3, $t0, $t1    # -2
+        addu $a0, $t2, $t3    # -4
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#);
+        assert_eq!(r.output, "-4");
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let r = run(r#"
+main:   li  $t0, 9
+        div $a0, $t0, $zero
+        li  $v0, 1
+        syscall
+        li  $v0, 10
+        syscall
+"#);
+        assert_eq!(r.output, "0");
+    }
+
+    #[test]
+    fn zero_register_ignores_writes() {
+        let r = run(r#"
+main:   li   $t0, 5
+        addu $zero, $t0, $t0
+        move $a0, $zero
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#);
+        assert_eq!(r.output, "0");
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        // `jr $ra` with ra=0 leaves text -> WildPc.
+        let r = run("main: jr $ra\n");
+        assert!(matches!(r.outcome, Outcome::Fault(Fault::WildPc { .. })));
+    }
+
+    #[test]
+    fn break_faults() {
+        let r = run("main: break\n");
+        assert!(matches!(r.outcome, Outcome::Fault(Fault::Break { .. })));
+    }
+
+    #[test]
+    fn unaligned_word_access_faults() {
+        let r = run("main: li $t0, 0x10010001\n lw $t1, 0($t0)\n");
+        assert!(matches!(r.outcome, Outcome::Fault(Fault::Unaligned { .. })));
+    }
+
+    #[test]
+    fn bad_syscall_faults() {
+        let r = run("main: li $v0, 99\n syscall\n");
+        assert!(matches!(
+            r.outcome,
+            Outcome::Fault(Fault::BadSyscall { service: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn fuel_limit_stops_infinite_loop() {
+        let image = flexprot_asm::assemble_or_panic("main: b main\n");
+        let config = SimConfig {
+            max_instructions: 1000,
+            ..SimConfig::default()
+        };
+        let r = Machine::new(&image, config).run();
+        assert_eq!(r.outcome, Outcome::OutOfFuel);
+        assert_eq!(r.stats.instructions, 1000);
+    }
+
+    #[test]
+    fn stats_count_instructions_and_caches() {
+        let r = run("main: li $v0, 10\n li $a0, 0\n syscall\n");
+        assert_eq!(r.stats.instructions, 3);
+        assert_eq!(r.stats.icache_accesses, 3);
+        // All three words share one line: exactly one cold miss.
+        assert_eq!(r.stats.icache_misses, 1);
+        assert!(r.stats.cycles > 3);
+    }
+
+    #[test]
+    fn profiling_collects_exec_counts() {
+        let image = flexprot_asm::assemble_or_panic(
+            r#"
+main:   li   $t0, 3
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        li   $a0, 0
+        syscall
+"#,
+        );
+        let r = Machine::new(&image, SimConfig::default().with_profile()).run();
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        let loop_pc = image.symbol("loop").unwrap();
+        assert_eq!(r.stats.exec_counts.get(&loop_pc), Some(&3));
+        assert_eq!(r.stats.exec_counts.get(&image.entry), Some(&1));
+        assert!(!r.stats.imiss_counts.is_empty());
+    }
+
+    #[test]
+    fn monitor_transform_and_penalty_are_applied() {
+        #[derive(Debug)]
+        struct XorMonitor {
+            key: u32,
+            fills: u32,
+        }
+        impl FetchMonitor for XorMonitor {
+            fn transform_fetch(&mut self, _addr: u32, word: u32) -> u32 {
+                word ^ self.key
+            }
+            fn fill_penalty(&mut self, _line_addr: u32, _line_words: u32) -> u64 {
+                self.fills += 1;
+                7
+            }
+        }
+
+        let mut image = flexprot_asm::assemble_or_panic(
+            "main: li $a0, 9\n li $v0, 1\n syscall\n li $v0, 10\n li $a0, 0\n syscall\n",
+        );
+        let key = 0x5A5A_5A5A;
+        for word in &mut image.text {
+            *word ^= key;
+        }
+        let monitor = XorMonitor { key, fills: 0 };
+        let mut machine = Machine::with_monitor(&image, SimConfig::default(), monitor);
+        let r = machine.run();
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, "9");
+        assert_eq!(machine.monitor().fills, 1);
+        assert_eq!(r.stats.monitor_fill_cycles, 7);
+    }
+
+    #[test]
+    fn monitor_tamper_event_aborts() {
+        #[derive(Debug)]
+        struct TripAtThird(u32);
+        impl FetchMonitor for TripAtThird {
+            fn observe_commit(&mut self, pc: u32, _w: u32, _seq: bool) -> Option<TamperEvent> {
+                self.0 += 1;
+                (self.0 == 3).then(|| TamperEvent {
+                    pc,
+                    reason: "test trip".to_owned(),
+                })
+            }
+        }
+        let image = flexprot_asm::assemble_or_panic("main: nop\n nop\n nop\n nop\n li $v0, 10\n syscall\n");
+        let r = Machine::with_monitor(&image, SimConfig::default(), TripAtThird(0)).run();
+        match r.outcome {
+            Outcome::TamperDetected(event) => {
+                assert_eq!(event.pc, image.entry + 8);
+                // Two instructions committed before the third was blocked.
+                assert_eq!(r.stats.instructions, 2);
+            }
+            other => panic!("expected tamper, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequential_flag_tracks_control_flow() {
+        #[derive(Debug, Default)]
+        struct SeqLog(Vec<bool>);
+        impl FetchMonitor for SeqLog {
+            fn observe_commit(&mut self, _pc: u32, _w: u32, seq: bool) -> Option<TamperEvent> {
+                self.0.push(seq);
+                None
+            }
+        }
+        let image = flexprot_asm::assemble_or_panic(
+            r#"
+main:   b   skip
+        nop
+skip:   nop
+        li  $v0, 10
+        li  $a0, 0
+        syscall
+"#,
+        );
+        let mut machine = Machine::with_monitor(&image, SimConfig::default(), SeqLog::default());
+        let r = machine.run();
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        // entry: not sequential; skip: reached by taken branch -> not
+        // sequential; the rest sequential.
+        assert_eq!(machine.monitor().0, vec![false, false, true, true, true]);
+    }
+
+    #[test]
+    fn larger_icache_reduces_misses() {
+        let src = r#"
+main:   li   $t0, 200
+loop:   jal  far
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        li   $v0, 10
+        li   $a0, 0
+        syscall
+far:    jr   $ra
+"#;
+        let image = flexprot_asm::assemble_or_panic(src);
+        let small = SimConfig {
+            icache: CacheConfig {
+                size_bytes: 64,
+                line_bytes: 16,
+                ways: 1,
+            },
+            ..SimConfig::default()
+        };
+        let big = SimConfig::default();
+        let r_small = Machine::new(&image, small).run();
+        let r_big = Machine::new(&image, big).run();
+        assert_eq!(r_small.outcome, Outcome::Exit(0));
+        assert!(r_small.stats.icache_misses >= r_big.stats.icache_misses);
+        assert!(r_small.stats.cycles >= r_big.stats.cycles);
+    }
+}

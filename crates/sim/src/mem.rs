@@ -1,0 +1,169 @@
+//! Flat, sparse, little-endian byte-addressable memory.
+
+use std::collections::HashMap;
+
+use flexprot_isa::Image;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse memory backed by 4 KiB pages allocated on first touch.
+///
+/// Reads from never-written locations return zero, mimicking zero-initialised
+/// RAM. All accesses are little-endian.
+///
+/// # Example
+///
+/// ```
+/// use flexprot_sim::mem::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u32(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u32(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(mem.read_u16(0x1000), 0xBEEF);
+/// assert_eq!(mem.read_u8(0x1003), 0xDE);
+/// assert_eq!(mem.read_u32(0x9999_0000), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Creates a memory pre-loaded with an image's text and data segments.
+    pub fn load(image: &Image) -> Memory {
+        let mut mem = Memory::new();
+        for (i, &word) in image.text.iter().enumerate() {
+            mem.write_u32(image.text_base + 4 * i as u32, word);
+        }
+        for (i, &byte) in image.data.iter().enumerate() {
+            mem.write_u8(image.data_base + i as u32, byte);
+        }
+        mem
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian halfword. The address may be unaligned; the
+    /// caller enforces alignment policy.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [a, b] = value.to_le_bytes();
+        self.write_u8(addr, a);
+        self.write_u8(addr.wrapping_add(1), b);
+    }
+
+    /// Reads a little-endian word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, byte) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), byte);
+        }
+    }
+
+    /// Reads a NUL-terminated string of at most `max_len` bytes.
+    pub fn read_cstr(&self, addr: u32, max_len: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..max_len {
+            let byte = self.read_u8(addr.wrapping_add(i as u32));
+            if byte == 0 {
+                break;
+            }
+            out.push(byte);
+        }
+        out
+    }
+
+    /// Number of resident pages, for footprint diagnostics.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexprot_isa::Image;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u32(0xFFFF_FFFC), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn word_round_trip_across_page_boundary() {
+        let mut mem = Memory::new();
+        let addr = (1 << PAGE_BITS) - 2;
+        mem.write_u32(addr, 0x1122_3344);
+        assert_eq!(mem.read_u32(addr), 0x1122_3344);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn halfword_endianness() {
+        let mut mem = Memory::new();
+        mem.write_u16(0x100, 0xABCD);
+        assert_eq!(mem.read_u8(0x100), 0xCD);
+        assert_eq!(mem.read_u8(0x101), 0xAB);
+    }
+
+    #[test]
+    fn load_places_segments() {
+        let mut img = Image::from_text(vec![0x1234_5678]);
+        img.data = vec![9, 8, 7];
+        let mem = Memory::load(&img);
+        assert_eq!(mem.read_u32(img.text_base), 0x1234_5678);
+        assert_eq!(mem.read_u8(img.data_base), 9);
+        assert_eq!(mem.read_u8(img.data_base + 2), 7);
+    }
+
+    #[test]
+    fn cstr_stops_at_nul_and_cap() {
+        let mut mem = Memory::new();
+        for (i, b) in b"hello\0world".iter().enumerate() {
+            mem.write_u8(0x200 + i as u32, *b);
+        }
+        assert_eq!(mem.read_cstr(0x200, 64), b"hello");
+        assert_eq!(mem.read_cstr(0x200, 3), b"hel");
+    }
+}

@@ -1,0 +1,99 @@
+//! The fetch-path monitor interface — where the secure hardware plugs in.
+//!
+//! The FPGA of the codesign architecture sits between the processor and
+//! instruction memory and additionally snoops the committed instruction
+//! stream (a trace-port connection). [`FetchMonitor`] captures exactly those
+//! two observation points:
+//!
+//! * [`FetchMonitor::transform_fetch`] — the functional view: every
+//!   instruction word passes through the monitor on its way from memory to
+//!   the pipeline, giving the hardware the chance to decrypt it;
+//! * [`FetchMonitor::fill_penalty`] — the timing view: decryption hardware
+//!   latency is charged when the I-cache fills a line;
+//! * [`FetchMonitor::observe_commit`] — the verification view: the monitor
+//!   sees each retired instruction (post-decrypt) and may raise a tamper
+//!   event.
+
+use std::fmt;
+
+/// Raised by a monitor when it detects tampering; aborts simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperEvent {
+    /// Program counter of the instruction that triggered detection.
+    pub pc: u32,
+    /// Human-readable reason (signature mismatch, spacing overflow, …).
+    pub reason: String,
+}
+
+impl fmt::Display for TamperEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tamper detected at {:#010x}: {}", self.pc, self.reason)
+    }
+}
+
+/// Hardware model attached to the instruction fetch path.
+///
+/// Implementations must be deterministic: the simulator may be re-run for
+/// profiling and expects identical behaviour.
+pub trait FetchMonitor {
+    /// Transforms a fetched instruction word (e.g. decrypts it).
+    ///
+    /// Called functionally on every instruction fetch with the word as
+    /// stored in memory. The default is the identity.
+    fn transform_fetch(&mut self, addr: u32, word: u32) -> u32 {
+        let _ = addr;
+        word
+    }
+
+    /// Extra cycles charged when the I-cache fills the line at `line_addr`.
+    ///
+    /// This is where decryption-unit latency appears. The default is free.
+    fn fill_penalty(&mut self, line_addr: u32, line_words: u32) -> u64 {
+        let _ = (line_addr, line_words);
+        0
+    }
+
+    /// Observes one committed instruction.
+    ///
+    /// `word` is the post-transform (plaintext) instruction word.
+    /// `sequential` is true when `pc` directly followed the previously
+    /// committed instruction (no taken control transfer in between).
+    ///
+    /// Returning `Some` aborts execution with
+    /// [`Outcome::TamperDetected`](crate::Outcome::TamperDetected).
+    fn observe_commit(&mut self, pc: u32, word: u32, sequential: bool) -> Option<TamperEvent> {
+        let _ = (pc, word, sequential);
+        None
+    }
+}
+
+/// A monitor that does nothing — the unprotected baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullMonitor;
+
+impl FetchMonitor for NullMonitor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_monitor_is_transparent() {
+        let mut m = NullMonitor;
+        assert_eq!(m.transform_fetch(0x400000, 0xABCD), 0xABCD);
+        assert_eq!(m.fill_penalty(0x400000, 8), 0);
+        assert_eq!(m.observe_commit(0x400000, 0, true), None);
+    }
+
+    #[test]
+    fn tamper_event_display() {
+        let e = TamperEvent {
+            pc: 0x0040_0010,
+            reason: "signature mismatch".to_owned(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "tamper detected at 0x00400010: signature mismatch"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+# adpcm — delta encoder/reconstructor over 512 samples; prints the
+# accumulated squared reconstruction error and an output checksum.
+# Workload class: feedback-loop signal codec (the MediaBench adpcm kernel).
+# Prints "<err-hex> <sum-hex>".
+        .data
+samp:   .space 2048             # 512 sample words
+        .text
+main:   jal  fill
+        jal  codec
+        move $s6, $v0           # err acc
+        move $s7, $v1           # checksum
+        move $a0, $s6
+        li   $v0, 34
+        syscall
+        li   $a0, ' '
+        li   $v0, 11
+        syscall
+        move $a0, $s7
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+
+fill:   li   $t9, 161803        # LCG state
+        la   $t0, samp
+        li   $t1, 0
+        li   $t2, 512
+floop:  li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        srl  $t3, $t9, 12
+        andi $t3, $t3, 0x3FF    # 10-bit samples
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        blt  $t1, $t2, floop
+        jr   $ra
+
+# codec() -> $v0 = sum of squared errors, $v1 = xor of quantized codes.
+codec:  la   $s0, samp
+        li   $s1, 0             # i
+        li   $s2, 512
+        li   $s3, 0             # predictor
+        li   $v0, 0             # err acc
+        li   $v1, 0             # code checksum
+cloop:  lw   $t0, 0($s0)        # s
+        sub  $t1, $t0, $s3      # delta
+        sra  $t2, $t1, 3        # quantize: q = delta >> 3
+        li   $t3, 127           # clamp q to [-128, 127]
+        ble  $t2, $t3, cl1
+        move $t2, $t3
+cl1:    li   $t3, -128
+        bge  $t2, $t3, cl2
+        move $t2, $t3
+cl2:    xor  $v1, $v1, $t2
+        sll  $t4, $t2, 3        # reconstruct: p += q << 3
+        addu $s3, $s3, $t4
+        sub  $t5, $t0, $s3      # err = s - p
+        mul  $t6, $t5, $t5
+        addu $v0, $v0, $t6
+        addi $s0, $s0, 4
+        addi $s1, $s1, 1
+        blt  $s1, $s2, cloop
+        jr   $ra

@@ -1,0 +1,43 @@
+# bitcount — Kernighan popcount over 1024 LCG words, printed as an integer.
+# Workload class: data-dependent inner-loop trip counts (the classic
+# MiBench bitcount kernel).
+        .data
+words:  .space 4096             # 1024 words
+        .text
+main:   jal  fill
+        jal  count
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+
+fill:   li   $t9, 808017        # LCG state
+        la   $t0, words
+        li   $t1, 0
+        li   $t2, 1024
+floop:  li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        sw   $t9, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        blt  $t1, $t2, floop
+        jr   $ra
+
+# count() -> $v0: total set bits.
+count:  la   $s0, words
+        li   $s1, 0             # i
+        li   $s2, 1024
+        li   $v0, 0
+wloop:  lw   $t0, 0($s0)
+bloop:  beqz $t0, bdone
+        addi $t1, $t0, -1
+        and  $t0, $t0, $t1      # clear lowest set bit
+        addi $v0, $v0, 1
+        b    bloop
+bdone:  addi $s0, $s0, 4
+        addi $s1, $s1, 1
+        blt  $s1, $s2, wloop
+        jr   $ra

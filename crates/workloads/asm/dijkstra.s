@@ -1,0 +1,114 @@
+# dijkstra — single-source shortest paths on a 16-node dense graph (O(n^2)).
+# Workload class: pointer/array chasing with data-dependent control
+# (network/route codes).
+        .data
+adj:    .space 1024             # 16*16 words
+dist:   .space 64               # 16 words
+vis:    .space 64               # 16 words
+        .text
+main:   jal  build
+        jal  solve
+        jal  check
+        move $a0, $v0
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+
+# build(): edge weights 1..256 from the LCG; diagonal zero.
+build:  li   $t9, 7777          # LCG state
+        la   $t0, adj
+        li   $t1, 0             # i
+        li   $t7, 16
+biloop: li   $t2, 0             # j
+bjloop: li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        srl  $t3, $t9, 4
+        andi $t3, $t3, 0xFF
+        addi $t3, $t3, 1
+        bne  $t1, $t2, bstore
+        li   $t3, 0             # self-loop weight 0
+bstore: sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t2, $t2, 1
+        blt  $t2, $t7, bjloop
+        addi $t1, $t1, 1
+        blt  $t1, $t7, biloop
+        jr   $ra
+
+# solve(): classic O(n^2) Dijkstra from node 0.
+solve:  la   $t0, dist          # init dist = INF, vis = 0
+        la   $t1, vis
+        li   $t2, 0
+        li   $t7, 16
+        li   $t3, 0x7FFFFFFF
+siloop: sw   $t3, 0($t0)
+        sw   $zero, 0($t1)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 4
+        addi $t2, $t2, 1
+        blt  $t2, $t7, siloop
+        la   $t0, dist
+        sw   $zero, 0($t0)      # dist[0] = 0
+        li   $s0, 0             # round
+round:  # find unvisited min
+        li   $s1, -1            # best index
+        li   $s2, 0x7FFFFFFF    # best dist
+        li   $t2, 0
+scan:   sll  $t3, $t2, 2
+        la   $t4, vis
+        addu $t4, $t4, $t3
+        lw   $t5, 0($t4)
+        bnez $t5, snext
+        la   $t4, dist
+        addu $t4, $t4, $t3
+        lw   $t5, 0($t4)
+        bge  $t5, $s2, snext
+        move $s2, $t5
+        move $s1, $t2
+snext:  addi $t2, $t2, 1
+        blt  $t2, $t7, scan
+        bltz $s1, sdone         # no reachable node left
+        # mark visited
+        sll  $t3, $s1, 2
+        la   $t4, vis
+        addu $t4, $t4, $t3
+        li   $t5, 1
+        sw   $t5, 0($t4)
+        # relax neighbours
+        li   $t2, 0             # j
+relax:  beq  $t2, $s1, rnext
+        sll  $t3, $s1, 2
+        li   $t4, 16
+        mul  $t3, $s1, $t4      # adj[best*16 + j]
+        addu $t3, $t3, $t2
+        sll  $t3, $t3, 2
+        la   $t4, adj
+        addu $t4, $t4, $t3
+        lw   $t5, 0($t4)        # w
+        addu $t6, $s2, $t5      # cand = dist[best] + w
+        sll  $t3, $t2, 2
+        la   $t4, dist
+        addu $t4, $t4, $t3
+        lw   $t5, 0($t4)
+        bge  $t6, $t5, rnext
+        sw   $t6, 0($t4)
+rnext:  addi $t2, $t2, 1
+        blt  $t2, $t7, relax
+        addi $s0, $s0, 1
+        blt  $s0, $t7, round
+sdone:  jr   $ra
+
+# check() -> $v0: xor of all final distances.
+check:  la   $t0, dist
+        li   $t1, 0
+        li   $t2, 16
+        li   $v0, 0
+cxloop: lw   $t3, 0($t0)
+        xor  $v0, $v0, $t3
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        blt  $t1, $t2, cxloop
+        jr   $ra

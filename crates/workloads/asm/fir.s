@@ -1,0 +1,54 @@
+# fir — 8-tap FIR filter over 256 samples, xor checksum of outputs.
+# Workload class: streaming multiply-accumulate (audio/DSP codes).
+        .data
+xs:     .space 1024             # 256 input words
+taps:   .word 3, -1, 4, 1, -5, 9, -2, 6
+        .text
+main:   jal  fill
+        jal  fir
+        move $a0, $v0
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+
+fill:   li   $t9, 31337         # LCG state
+        la   $t0, xs
+        li   $t1, 0
+        li   $t2, 256
+floop:  li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        srl  $t3, $t9, 16
+        andi $t3, $t3, 0x3FF
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        blt  $t1, $t2, floop
+        jr   $ra
+
+# fir() -> $v0: xor over y[n] = sum_k taps[k] * x[n-k] for n in 8..256.
+fir:    li   $v0, 0
+        li   $s0, 8             # n
+        li   $s1, 256
+nloop:  li   $s2, 0             # k
+        li   $s3, 0             # acc
+        li   $s4, 8
+tloop:  sub  $t0, $s0, $s2      # x[n-k]
+        sll  $t0, $t0, 2
+        la   $t1, xs
+        addu $t1, $t1, $t0
+        lw   $t2, 0($t1)
+        sll  $t0, $s2, 2        # taps[k]
+        la   $t1, taps
+        addu $t1, $t1, $t0
+        lw   $t3, 0($t1)
+        mul  $t4, $t2, $t3
+        addu $s3, $s3, $t4
+        addi $s2, $s2, 1
+        blt  $s2, $s4, tloop
+        xor  $v0, $v0, $s3
+        addi $s0, $s0, 1
+        blt  $s0, $s1, nloop
+        jr   $ra

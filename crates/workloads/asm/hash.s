@@ -1,0 +1,26 @@
+# hash — FNV-1a over 4096 LCG bytes, printed in hex.
+# Workload class: long dependent-chain arithmetic (hashing/indexing codes).
+        .text
+main:   jal  fnv
+        move $a0, $v0
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+
+# fnv() -> $v0: FNV-1a 32-bit digest.
+fnv:    li   $v0, 0x811C9DC5    # offset basis
+        li   $s3, 65537         # LCG state
+        li   $s1, 0
+        li   $s2, 4096
+hloop:  li   $t8, 1664525
+        mul  $s3, $s3, $t8
+        li   $t8, 0x3C6EF35F
+        addu $s3, $s3, $t8
+        srl  $t0, $s3, 24       # byte
+        xor  $v0, $v0, $t0
+        li   $t8, 0x01000193    # FNV prime
+        mul  $v0, $v0, $t8
+        addi $s1, $s1, 1
+        blt  $s1, $s2, hloop
+        jr   $ra

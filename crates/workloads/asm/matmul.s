@@ -1,0 +1,88 @@
+# matmul — 12x12 integer matrix multiply, xor-checksum of the product.
+# Workload class: dense loop nest (DSP/linear algebra codes).
+        .data
+mata:   .space 576              # 12*12 words
+matb:   .space 576
+matc:   .space 576
+        .text
+main:   jal  fill
+        jal  mult
+        jal  check
+        move $a0, $v0
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+
+# fill(): a[i] and b[i] get small LCG values.
+fill:   li   $t9, 54321         # LCG state
+        la   $s0, mata
+        la   $s1, matb
+        li   $t0, 0             # i
+        li   $t1, 144
+floop:  li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        andi $t2, $t9, 0xFF
+        sw   $t2, 0($s0)
+        li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        andi $t2, $t9, 0xFF
+        sw   $t2, 0($s1)
+        addi $s0, $s0, 4
+        addi $s1, $s1, 4
+        addi $t0, $t0, 1
+        blt  $t0, $t1, floop
+        jr   $ra
+
+# mult(): c = a * b, wrapping arithmetic.
+mult:   li   $s0, 0             # i
+        li   $s7, 12            # N
+iloop:  li   $s1, 0             # j
+jloop:  li   $s2, 0             # k
+        li   $s3, 0             # acc
+kloop:  mul  $t0, $s0, $s7      # a[i*N+k]
+        addu $t0, $t0, $s2
+        sll  $t0, $t0, 2
+        la   $t1, mata
+        addu $t1, $t1, $t0
+        lw   $t2, 0($t1)
+        mul  $t0, $s2, $s7      # b[k*N+j]
+        addu $t0, $t0, $s1
+        sll  $t0, $t0, 2
+        la   $t1, matb
+        addu $t1, $t1, $t0
+        lw   $t3, 0($t1)
+        mul  $t4, $t2, $t3
+        addu $s3, $s3, $t4
+        addi $s2, $s2, 1
+        blt  $s2, $s7, kloop
+        mul  $t0, $s0, $s7      # c[i*N+j] = acc
+        addu $t0, $t0, $s1
+        sll  $t0, $t0, 2
+        la   $t1, matc
+        addu $t1, $t1, $t0
+        sw   $s3, 0($t1)
+        addi $s1, $s1, 1
+        blt  $s1, $s7, jloop
+        addi $s0, $s0, 1
+        blt  $s0, $s7, iloop
+        jr   $ra
+
+# check() -> $v0: xor of all product words, rotated by index parity.
+check:  la   $s0, matc
+        li   $t0, 0
+        li   $t1, 144
+        li   $v0, 0
+cloop:  lw   $t2, 0($s0)
+        xor  $v0, $v0, $t2
+        sll  $t3, $v0, 1
+        srl  $t4, $v0, 31
+        or   $v0, $t3, $t4      # rotate left 1
+        addi $s0, $s0, 4
+        addi $t0, $t0, 1
+        blt  $t0, $t1, cloop
+        jr   $ra

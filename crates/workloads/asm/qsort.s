@@ -1,0 +1,94 @@
+# qsort — recursive quicksort (Lomuto) of 128 words, order-weighted checksum.
+# Workload class: control-heavy recursion with data-dependent branches.
+        .data
+arr:    .space 512              # 128 words
+        .text
+main:   jal  fill
+        la   $a0, arr
+        li   $a1, 0             # lo
+        li   $a2, 127           # hi
+        jal  qsort
+        jal  check
+        move $a0, $v0
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+
+fill:   li   $t9, 99991         # LCG state
+        la   $t0, arr
+        li   $t1, 0
+        li   $t2, 128
+floop:  li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        srl  $t3, $t9, 8
+        andi $t3, $t3, 0xFFFF
+        sw   $t3, 0($t0)
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        blt  $t1, $t2, floop
+        jr   $ra
+
+# qsort(a0=base, a1=lo, a2=hi), recursive.
+qsort:  bge  $a1, $a2, qdone
+        addi $sp, $sp, -16
+        sw   $ra, 12($sp)
+        sw   $a1, 8($sp)
+        sw   $a2, 4($sp)
+        # partition: pivot = a[hi]
+        sll  $t0, $a2, 2
+        addu $t0, $t0, $a0
+        lw   $t1, 0($t0)        # pivot
+        addi $t2, $a1, -1       # i = lo-1
+        move $t3, $a1           # j = lo
+ploop:  bge  $t3, $a2, pdone
+        sll  $t4, $t3, 2
+        addu $t4, $t4, $a0
+        lw   $t5, 0($t4)        # a[j]
+        bgt  $t5, $t1, pskip
+        addi $t2, $t2, 1        # i++
+        sll  $t6, $t2, 2
+        addu $t6, $t6, $a0
+        lw   $t7, 0($t6)        # swap a[i], a[j]
+        sw   $t5, 0($t6)
+        sw   $t7, 0($t4)
+pskip:  addi $t3, $t3, 1
+        b    ploop
+pdone:  addi $t2, $t2, 1        # p = i+1
+        sll  $t4, $t2, 2
+        addu $t4, $t4, $a0
+        lw   $t5, 0($t4)        # swap a[p], a[hi]
+        sll  $t6, $a2, 2
+        addu $t6, $t6, $a0
+        lw   $t7, 0($t6)
+        sw   $t7, 0($t4)
+        sw   $t5, 0($t6)
+        sw   $t2, 0($sp)        # save p
+        # qsort(lo, p-1)
+        addi $a2, $t2, -1
+        jal  qsort
+        # qsort(p+1, hi)
+        lw   $t2, 0($sp)
+        lw   $a1, 8($sp)        # (unused: lo) keep frame symmetric
+        addi $a1, $t2, 1
+        lw   $a2, 4($sp)
+        jal  qsort
+        lw   $ra, 12($sp)
+        addi $sp, $sp, 16
+qdone:  jr   $ra
+
+# check() -> $v0: sum of a[i] * (i+1), wrapping.
+check:  la   $t0, arr
+        li   $t1, 0
+        li   $t2, 128
+        li   $v0, 0
+closs:  lw   $t3, 0($t0)
+        addi $t4, $t1, 1
+        mul  $t5, $t3, $t4
+        addu $v0, $v0, $t5
+        addi $t0, $t0, 4
+        addi $t1, $t1, 1
+        blt  $t1, $t2, closs
+        jr   $ra

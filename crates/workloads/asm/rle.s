@@ -1,0 +1,124 @@
+# rle — run-length encode 512 bytes, decode, self-verify, report.
+# Workload class: byte-granular codec with verification pass
+# (compression codes). Prints "<enclen> <ok> <checksum-hex>".
+        .data
+src:    .space 512
+enc:    .space 1088             # worst case 2*512 + slack
+dec:    .space 512
+        .text
+main:   jal  fill
+        jal  encode
+        move $s6, $v0           # encoded length
+        jal  decode
+        jal  verify
+        move $s7, $v0           # ok flag
+        move $a0, $s6
+        li   $v0, 1
+        syscall
+        li   $a0, ' '
+        li   $v0, 11
+        syscall
+        move $a0, $s7
+        li   $v0, 1
+        syscall
+        li   $a0, ' '
+        li   $v0, 11
+        syscall
+        jal  checksum
+        move $a0, $v0
+        li   $v0, 34
+        syscall
+        li   $v0, 10
+        syscall
+
+# fill(): small alphabet so real runs appear.
+fill:   li   $t9, 2024          # LCG state
+        la   $t0, src
+        li   $t1, 0
+        li   $t2, 512
+filp:   li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        srl  $t3, $t9, 13
+        andi $t3, $t3, 3
+        sb   $t3, 0($t0)
+        addi $t0, $t0, 1
+        addi $t1, $t1, 1
+        blt  $t1, $t2, filp
+        jr   $ra
+
+# encode() -> $v0: bytes written to enc as (count, value) pairs.
+encode: la   $s0, src
+        la   $s1, enc
+        li   $s2, 0             # i
+        li   $s3, 512
+        li   $v0, 0             # out length
+eloop:  bge  $s2, $s3, edone
+        lbu  $t0, 0($s0)        # value
+        li   $t1, 1             # run length
+erun:   addu $t2, $s2, $t1
+        bge  $t2, $s3, estop
+        li   $t4, 255
+        bge  $t1, $t4, estop
+        addu $t3, $s0, $t1
+        lbu  $t3, 0($t3)
+        bne  $t3, $t0, estop
+        addi $t1, $t1, 1
+        b    erun
+estop:  sb   $t1, 0($s1)
+        sb   $t0, 1($s1)
+        addi $s1, $s1, 2
+        addi $v0, $v0, 2
+        addu $s0, $s0, $t1
+        addu $s2, $s2, $t1
+        b    eloop
+edone:  jr   $ra
+
+# decode(): expand enc (s6 bytes) back into dec.
+decode: la   $s0, enc
+        la   $s1, dec
+        li   $s2, 0             # consumed
+dloop:  bge  $s2, $s6, ddone
+        lbu  $t0, 0($s0)        # count
+        lbu  $t1, 1($s0)        # value
+        addi $s0, $s0, 2
+        addi $s2, $s2, 2
+drep:   beqz $t0, dloop
+        sb   $t1, 0($s1)
+        addi $s1, $s1, 1
+        addi $t0, $t0, -1
+        b    drep
+ddone:  jr   $ra
+
+# verify() -> $v0: 1 when dec == src byte-for-byte.
+verify: la   $t0, src
+        la   $t1, dec
+        li   $t2, 0
+        li   $t3, 512
+vloop:  lbu  $t4, 0($t0)
+        lbu  $t5, 0($t1)
+        bne  $t4, $t5, vfail
+        addi $t0, $t0, 1
+        addi $t1, $t1, 1
+        addi $t2, $t2, 1
+        blt  $t2, $t3, vloop
+        li   $v0, 1
+        jr   $ra
+vfail:  li   $v0, 0
+        jr   $ra
+
+# checksum() -> $v0: djb2 over the encoded stream.
+checksum:
+        la   $t0, enc
+        li   $t1, 0
+        li   $v0, 5381
+ckloop: bge  $t1, $s6, ckdone
+        lbu  $t2, 0($t0)
+        sll  $t3, $v0, 5
+        addu $v0, $v0, $t3      # h *= 33
+        addu $v0, $v0, $t2
+        addi $t0, $t0, 1
+        addi $t1, $t1, 1
+        b    ckloop
+ckdone: jr   $ra

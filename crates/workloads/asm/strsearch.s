@@ -1,0 +1,52 @@
+# strsearch — naive substring search over 2048 bytes of 4-letter text.
+# Workload class: nested byte-compare loops (parsing/scanning codes).
+# Prints the number of occurrences of the pattern.
+        .data
+text:   .space 2048
+pat:    .asciiz "abca"
+        .text
+main:   jal  fill
+        jal  search
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+
+fill:   li   $t9, 424242        # LCG state
+        la   $t0, text
+        li   $t1, 0
+        li   $t2, 2048
+floop:  li   $t8, 1664525
+        mul  $t9, $t9, $t8
+        li   $t8, 0x3C6EF35F
+        addu $t9, $t9, $t8
+        srl  $t3, $t9, 10
+        andi $t3, $t3, 3
+        addi $t3, $t3, 'a'
+        sb   $t3, 0($t0)
+        addi $t0, $t0, 1
+        addi $t1, $t1, 1
+        blt  $t1, $t2, floop
+        jr   $ra
+
+# search() -> $v0: occurrence count of pat (length 4) in text.
+search: li   $v0, 0
+        li   $s0, 0             # i
+        li   $s1, 2045          # 2048 - 4 + 1
+siloop: li   $s2, 0             # j
+sjloop: la   $t0, pat
+        addu $t0, $t0, $s2
+        lbu  $t1, 0($t0)
+        beqz $t1, smatch        # hit NUL: full match
+        la   $t0, text
+        addu $t0, $t0, $s0
+        addu $t0, $t0, $s2
+        lbu  $t2, 0($t0)
+        bne  $t1, $t2, snext
+        addi $s2, $s2, 1
+        b    sjloop
+smatch: addi $v0, $v0, 1
+snext:  addi $s0, $s0, 1
+        blt  $s0, $s1, siloop
+        jr   $ra

@@ -1,0 +1,103 @@
+//! The motivating MATE scenario: a license check that an attacker patches
+//! out. Unprotected, the bypass works silently; with register guards the
+//! hardware kills the patched binary.
+//!
+//! ```text
+//! cargo run --example license_check
+//! ```
+
+use flexprot::core::{protect, GuardConfig, ProtectionConfig};
+use flexprot::isa::Inst;
+use flexprot::sim::{Machine, Outcome, SimConfig};
+
+/// The "application": refuses to run without a valid license value, then
+/// does its real work.
+const PROGRAM: &str = r#"
+        .data
+lic:    .word 0              # license word patched by the installer (0 = none)
+denied: .asciiz "license invalid\n"
+okmsg:  .asciiz "licensed; secret result = "
+        .text
+main:   jal  check_license
+        beqz $v0, refuse
+        la   $a0, okmsg
+        li   $v0, 4
+        syscall
+        jal  secret_work
+        move $a0, $v0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+refuse: la   $a0, denied
+        li   $v0, 4
+        syscall
+        li   $a0, 1
+        li   $v0, 17         # exit(1)
+        syscall
+
+# check_license() -> 1 iff lic == 0xC0FFEE.
+check_license:
+        la   $t0, lic
+        lw   $t1, 0($t0)
+        li   $t2, 0xC0FFEE
+        li   $v0, 0
+        bne  $t1, $t2, cl_done
+        li   $v0, 1
+cl_done:
+        jr   $ra
+
+secret_work:
+        li   $t0, 41
+        addi $v0, $t0, 1
+        jr   $ra
+"#;
+
+/// The attack: invert the license branch (`beqz` → `bnez`), the classic
+/// one-instruction crack.
+fn crack(image: &mut flexprot::isa::Image) {
+    for (i, word) in image.text.iter_mut().enumerate() {
+        if let Ok(Inst::Beq { rs, rt, off }) = Inst::decode(*word) {
+            if rt == flexprot::isa::Reg::ZERO && rs != rt {
+                *word = Inst::Bne { rs, rt, off }.encode();
+                println!("  patched branch at text word {i}");
+                return;
+            }
+        }
+    }
+    panic!("no branch found to patch");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = flexprot::asm::assemble(PROGRAM)?;
+
+    println!("original (no license installed):");
+    let r = Machine::new(&image, SimConfig::default()).run();
+    println!("  {:?}, output {:?}\n", r.outcome, r.output);
+
+    println!("attacker cracks the UNPROTECTED binary:");
+    let mut cracked = image.clone();
+    crack(&mut cracked);
+    let r = Machine::new(&cracked, SimConfig::default()).run();
+    println!("  {:?}, output {:?}", r.outcome, r.output);
+    println!("  -> bypass succeeded, secret computed without a license\n");
+
+    println!("attacker cracks the GUARDED binary:");
+    let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+    let protected = protect(&image, &config, None)?;
+    let mut cracked = protected.clone();
+    crack(&mut cracked.image);
+    let r = cracked.run(SimConfig::default());
+    match &r.outcome {
+        Outcome::TamperDetected(event) => {
+            println!("  secure monitor: {event}");
+            println!("  -> bypass detected after {} instructions", r.stats.instructions);
+        }
+        other => println!("  unexpected outcome {other:?}"),
+    }
+
+    // And the untampered protected binary still refuses politely.
+    let r = protected.run(SimConfig::default());
+    println!("\nuntampered protected binary: {:?}, output {:?}", r.outcome, r.output);
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Covert watermarking through the guard salt channel: embed a customer id
+//! into a protected binary, verify it still runs and self-checks, and
+//! extract the id back from the shipped bytes.
+//!
+//! ```text
+//! cargo run --example watermark
+//! ```
+
+use flexprot::core::watermark;
+use flexprot::core::{insert_guards, GuardConfig};
+use flexprot::secmon::SecMon;
+use flexprot::sim::{Machine, Outcome, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = flexprot::workloads::by_name("rle").expect("kernel exists");
+    let image = workload.image();
+
+    // Guard the binary; the salt bits of the guard instructions are the
+    // covert channel.
+    let outcome = insert_guards(&image, &GuardConfig::with_density(1.0), None)?;
+    let config = outcome.secmon_config();
+    println!(
+        "{} guard sites -> {} bits of covert capacity",
+        outcome.guards_inserted,
+        watermark::capacity_bits(&config)
+    );
+
+    // Embed two different customer ids into two shipped builds.
+    let mut build_a = outcome.image.clone();
+    let mut build_b = outcome.image.clone();
+    watermark::embed(&mut build_a, &config, b"CUST-0042")?;
+    watermark::embed(&mut build_b, &config, b"CUST-1337")?;
+
+    // Both builds run identically and pass all guard checks.
+    for (name, build) in [("A", &build_a), ("B", &build_b)] {
+        let mut machine =
+            Machine::with_monitor(build, SimConfig::default(), SecMon::new(config.clone()));
+        let run = machine.run();
+        assert_eq!(run.outcome, Outcome::Exit(0));
+        assert_eq!(run.output, workload.expected_output());
+        println!(
+            "build {name}: runs clean, {} guard checks passed",
+            machine.monitor().checks_passed()
+        );
+    }
+
+    // A leaked binary identifies its customer.
+    let leaked = watermark::extract(&build_b, &config, 9).expect("extract");
+    println!("leaked binary traces to: {}", String::from_utf8_lossy(&leaked));
+    assert_eq!(&leaked, b"CUST-1337");
+
+    // And the two builds differ only in covert bits — same word count,
+    // same behaviour, different fingerprints.
+    let differing = build_a
+        .text
+        .iter()
+        .zip(&build_b.text)
+        .filter(|(a, b)| a != b)
+        .count();
+    println!("builds differ in {differing} guard words (and nowhere else)");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # flexprot — flexible software protection via hardware/software codesign
+//!
+//! A from-scratch reproduction of the DATE-2004 approach to software
+//! protection: a compiler-side toolchain embeds **keyed register guards**
+//! and applies **fetch-path instruction encryption** to binaries, and a
+//! simulated **FPGA secure monitor** between the CPU and instruction memory
+//! verifies the instruction stream at run time. Protection strength is
+//! *flexible*: a profile-guided optimizer tunes per-function protection
+//! levels to an overhead budget.
+//!
+//! This crate is the facade: it re-exports the whole toolchain.
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`isa`] | `flexprot-isa` | SP32 ISA, encodings, program images |
+//! | [`asm`] | `flexprot-asm` | two-pass assembler with relocations |
+//! | [`cc`] | `flexprot-cc` | MiniC, a C-subset compiler front end |
+//! | [`sim`] | `flexprot-sim` | cycle-approximate CPU + cache simulator |
+//! | [`secmon`] | `flexprot-secmon` | the FPGA secure-monitor model |
+//! | [`core`] | `flexprot-core` | protection passes + budget optimizer |
+//! | [`attack`] | `flexprot-attack` | tamper attacks + detection harness |
+//! | [`workloads`] | `flexprot-workloads` | embedded benchmark kernels |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flexprot::core::{protect, GuardConfig, ProtectionConfig};
+//! use flexprot::sim::{Outcome, SimConfig};
+//!
+//! // 1. A program (normally produced by your build system).
+//! let image = flexprot::asm::assemble(r#"
+//! main:   li   $t0, 6
+//!         mul  $a0, $t0, $t0
+//!         li   $v0, 1
+//!         syscall
+//!         li   $v0, 10
+//!         syscall
+//! "#)?;
+//!
+//! // 2. Protect it: full-density register guards.
+//! let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+//! let protected = protect(&image, &config, None)?;
+//!
+//! // 3. Run on the simulated CPU with the provisioned secure monitor.
+//! let result = protected.run(SimConfig::default());
+//! assert_eq!(result.outcome, Outcome::Exit(0));
+//! assert_eq!(result.output, "36");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use flexprot_asm as asm;
+pub use flexprot_attack as attack;
+pub use flexprot_cc as cc;
+pub use flexprot_core as core;
+pub use flexprot_isa as isa;
+pub use flexprot_secmon as secmon;
+pub use flexprot_sim as sim;
+pub use flexprot_workloads as workloads;
