@@ -1,0 +1,18 @@
+#!/bin/sh
+# Local CI gate: everything a merge must pass, in the order fastest-fail first.
+# Usage: ./ci.sh
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo clippy --workspace --all-targets -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test --workspace =="
+cargo test --workspace --quiet
+
+echo "CI OK"

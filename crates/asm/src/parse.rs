@@ -52,7 +52,10 @@ pub enum Stmt {
     /// `.ascii "…"` / `.asciiz "…"` (bytes include the NUL for asciiz).
     Bytes(Vec<u8>),
     /// An instruction or pseudo-instruction.
-    Op { mnemonic: String, operands: Vec<Operand> },
+    Op {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
 }
 
 /// One source line after parsing: its labels and optional statement.
@@ -169,7 +172,9 @@ fn parse_directive(number: usize, directive: &str, tail: &str) -> Result<Stmt, A
         "align" => {
             let n = parse_int(tail)
                 .filter(|&n| (0..=16).contains(&n))
-                .ok_or_else(|| AsmError::new(number, format!("invalid .align exponent `{tail}`")))?;
+                .ok_or_else(|| {
+                    AsmError::new(number, format!("invalid .align exponent `{tail}`"))
+                })?;
             Ok(Stmt::Align(n as u32))
         }
         "ascii" | "asciiz" => {
@@ -179,7 +184,10 @@ fn parse_directive(number: usize, directive: &str, tail: &str) -> Result<Stmt, A
             }
             Ok(Stmt::Bytes(bytes))
         }
-        other => Err(AsmError::new(number, format!("unknown directive `.{other}`"))),
+        other => Err(AsmError::new(
+            number,
+            format!("unknown directive `.{other}`"),
+        )),
     }
 }
 
@@ -265,7 +273,10 @@ fn parse_operand(number: usize, tok: &str) -> Result<Operand, AsmError> {
     if is_ident(tok) {
         return Ok(Operand::Label(tok.to_owned()));
     }
-    Err(AsmError::new(number, format!("unparseable operand `{tok}`")))
+    Err(AsmError::new(
+        number,
+        format!("unparseable operand `{tok}`"),
+    ))
 }
 
 /// Parses decimal, hex (`0x…`), negative and character (`'a'`, `'\n'`)
@@ -358,7 +369,10 @@ mod tests {
     #[test]
     fn directive_parsing() {
         assert_eq!(parse_stmt(1, ".text").unwrap(), Stmt::SegText);
-        assert_eq!(parse_stmt(1, ".word 1, 2, 3").unwrap(), Stmt::Word(vec![1, 2, 3]));
+        assert_eq!(
+            parse_stmt(1, ".word 1, 2, 3").unwrap(),
+            Stmt::Word(vec![1, 2, 3])
+        );
         assert_eq!(parse_stmt(1, ".space 64").unwrap(), Stmt::Space(64));
         assert_eq!(parse_stmt(1, ".align 2").unwrap(), Stmt::Align(2));
         assert!(parse_stmt(1, ".bogus 1").is_err());

@@ -1,64 +1,119 @@
-//! Property tests for the assembler: disassembly of arbitrary valid
-//! instruction sequences reassembles to the identical binary.
+//! Property tests for the assembler, driven by the in-repo deterministic
+//! PRNG: disassembly of arbitrary valid instruction sequences reassembles
+//! to the identical binary.
 
-use flexprot_isa::{Image, Inst, Reg};
-use proptest::prelude::*;
+use flexprot_isa::{Image, Inst, Reg, Rng64};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::from_index(i).expect("in range"))
+fn reg(rng: &mut Rng64) -> Reg {
+    Reg::from_index(rng.below(32) as u8).expect("in range")
 }
 
-/// A strategy over instructions whose textual form is assembler-parseable
+/// Samples instructions whose textual form is assembler-parseable
 /// standalone (all of them are, by construction of the disassembler).
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    let r = arb_reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Mul { rd, rs, rt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Srl { rd, rt, sh }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
-        (r(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lw { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sb { rt, off, base }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Bne { rs, rt, off }),
-        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bgez { rs, off }),
-        (0u32..(1 << 26)).prop_map(|target| Inst::J { target }),
-        (0u32..(1 << 26)).prop_map(|target| Inst::Jal { target }),
-        r().prop_map(|rs| Inst::Jr { rs }),
-        Just(Inst::Syscall),
-    ]
+fn arb_inst(rng: &mut Rng64) -> Inst {
+    match rng.below(15) {
+        0 => Inst::Addu {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        1 => Inst::Nor {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        2 => Inst::Mul {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        3 => Inst::Srl {
+            rd: reg(rng),
+            rt: reg(rng),
+            sh: rng.below(32) as u8,
+        },
+        4 => Inst::Addi {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: rng.next_i16(),
+        },
+        5 => Inst::Xori {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: rng.next_u32() as u16,
+        },
+        6 => Inst::Lui {
+            rt: reg(rng),
+            imm: rng.next_u32() as u16,
+        },
+        7 => Inst::Lw {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        8 => Inst::Sb {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        9 => Inst::Bne {
+            rs: reg(rng),
+            rt: reg(rng),
+            off: rng.next_i16(),
+        },
+        10 => Inst::Bgez {
+            rs: reg(rng),
+            off: rng.next_i16(),
+        },
+        11 => Inst::J {
+            target: rng.below(1 << 26) as u32,
+        },
+        12 => Inst::Jal {
+            target: rng.below(1 << 26) as u32,
+        },
+        13 => Inst::Jr { rs: reg(rng) },
+        _ => Inst::Syscall,
+    }
 }
 
-proptest! {
-    /// disassemble ∘ assemble is the identity on text words.
-    #[test]
-    fn disasm_reassembles_identically(insts in prop::collection::vec(arb_inst(), 1..64)) {
-        let image = Image::from_text(insts.iter().map(|i| i.encode()).collect());
+fn arb_text(rng: &mut Rng64, max_len: usize) -> Vec<u32> {
+    let len = rng.range_inclusive(1, max_len as u64) as usize;
+    (0..len).map(|_| arb_inst(rng).encode()).collect()
+}
+
+/// disassemble ∘ assemble is the identity on text words.
+#[test]
+fn disasm_reassembles_identically() {
+    let mut rng = Rng64::new(0xA5B1_0001);
+    for _ in 0..256 {
+        let image = Image::from_text(arb_text(&mut rng, 64));
         let disasm = image.disassemble();
         let reassembled = flexprot_asm::assemble(&disasm)
             .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{disasm}"));
-        prop_assert_eq!(reassembled.text, image.text);
-    }
-
-    /// Assembling the same source twice is deterministic.
-    #[test]
-    fn assembly_is_deterministic(insts in prop::collection::vec(arb_inst(), 1..32)) {
-        let image = Image::from_text(insts.iter().map(|i| i.encode()).collect());
-        let disasm = image.disassemble();
-        let a = flexprot_asm::assemble(&disasm).expect("first");
-        let b = flexprot_asm::assemble(&disasm).expect("second");
-        prop_assert_eq!(a, b);
+        assert_eq!(reassembled.text, image.text, "\n{disasm}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Assembling the same source twice is deterministic.
+#[test]
+fn assembly_is_deterministic() {
+    let mut rng = Rng64::new(0xA5B1_0002);
+    for _ in 0..128 {
+        let image = Image::from_text(arb_text(&mut rng, 32));
+        let disasm = image.disassemble();
+        let a = flexprot_asm::assemble(&disasm).expect("first");
+        let b = flexprot_asm::assemble(&disasm).expect("second");
+        assert_eq!(a, b);
+    }
+}
 
-    /// Data directives lay out exactly the bytes the reference computes.
-    #[test]
-    fn word_directive_little_endian(values in prop::collection::vec(any::<i32>(), 1..16)) {
+/// Data directives lay out exactly the bytes the reference computes.
+#[test]
+fn word_directive_little_endian() {
+    let mut rng = Rng64::new(0xA5B1_0003);
+    for _ in 0..64 {
+        let count = rng.range_inclusive(1, 15) as usize;
+        let values: Vec<i32> = (0..count).map(|_| rng.next_u32() as i32).collect();
         let list = values
             .iter()
             .map(|v| v.to_string())
@@ -70,6 +125,6 @@ proptest! {
         for v in &values {
             expected.extend_from_slice(&(*v as u32).to_le_bytes());
         }
-        prop_assert_eq!(image.data, expected);
+        assert_eq!(image.data, expected);
     }
 }

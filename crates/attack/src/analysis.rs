@@ -84,13 +84,7 @@ pub fn word_diversity(a: &Image, b: &Image) -> f64 {
     if longer == 0 {
         return 0.0;
     }
-    let differing = a
-        .text
-        .iter()
-        .zip(&b.text)
-        .filter(|(x, y)| x != y)
-        .count()
-        + (longer - common);
+    let differing = a.text.iter().zip(&b.text).filter(|(x, y)| x != y).count() + (longer - common);
     differing as f64 / longer as f64
 }
 
@@ -141,8 +135,7 @@ mod tests {
     fn ciphertext_entropy_exceeds_plaintext() {
         let image = sample();
         let plain_entropy = text_entropy_bits(&image);
-        let config =
-            ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xCAFE));
+        let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xCAFE));
         let protected = protect(&image, &config, None).unwrap();
         let cipher_entropy = text_entropy_bits(&protected.image);
         assert!(
@@ -156,8 +149,7 @@ mod tests {
     fn undecodable_fraction_separates_cipher_from_plain() {
         let image = sample();
         assert_eq!(undecodable_fraction(&image), 0.0);
-        let config =
-            ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xCAFE));
+        let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xCAFE));
         let protected = protect(&image, &config, None).unwrap();
         assert!(undecodable_fraction(&protected.image) > 0.2);
     }
@@ -183,8 +175,7 @@ mod tests {
     fn rekeying_diversifies_ciphertext_completely() {
         let image = sample();
         let enc = |key: u64| {
-            let config =
-                ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(key));
+            let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(key));
             protect(&image, &config, None).unwrap().image
         };
         assert!(word_diversity(&enc(1), &enc(2)) > 0.95);

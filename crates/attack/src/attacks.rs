@@ -1,8 +1,6 @@
 //! The attack families: randomized binary mutations.
 
-use flexprot_isa::{Image, Inst, Reg};
-use rand::rngs::StdRng;
-use rand::Rng;
+use flexprot_isa::{Image, Inst, Reg, Rng64};
 
 /// A family of tamper attacks on the shipped text segment.
 ///
@@ -66,25 +64,25 @@ impl Attack {
     /// Returns `false` when the attack found no applicable site (e.g.
     /// guard stripping on an unguarded binary) and left the image
     /// untouched.
-    pub fn apply(self, image: &mut Image, rng: &mut StdRng) -> bool {
+    pub fn apply(self, image: &mut Image, rng: &mut Rng64) -> bool {
         let len = image.text.len();
         if len == 0 {
             return false;
         }
         match self {
             Attack::BitFlip => {
-                let index = rng.gen_range(0..len);
-                image.text[index] ^= 1 << rng.gen_range(0..32);
+                let index = rng.index(len);
+                image.text[index] ^= 1 << rng.below(32);
                 true
             }
             Attack::InstrSub => {
-                let index = rng.gen_range(0..len);
+                let index = rng.index(len);
                 image.text[index] = random_valid_inst(rng).encode();
                 true
             }
             Attack::NopOut => {
-                let run = rng.gen_range(1..=4.min(len));
-                let index = rng.gen_range(0..=len - run);
+                let run = rng.range_inclusive(1, 4.min(len as u64)) as usize;
+                let index = rng.index(len - run + 1);
                 for w in &mut image.text[index..index + run] {
                     *w = Inst::NOP.encode();
                 }
@@ -109,14 +107,14 @@ impl Attack {
                 if len < payload.len() {
                     return false;
                 }
-                let index = rng.gen_range(0..=len - payload.len());
+                let index = rng.index(len - payload.len() + 1);
                 for (k, inst) in payload.iter().enumerate() {
                     image.text[index + k] = inst.encode();
                 }
                 true
             }
             Attack::BranchFlip => {
-                let index = rng.gen_range(0..len);
+                let index = rng.index(len);
                 let word = image.text[index];
                 let flipped = match Inst::decode(word) {
                     Ok(Inst::Beq { rs, rt, off }) => Some(Inst::Bne { rs, rt, off }),
@@ -129,7 +127,7 @@ impl Attack {
                 };
                 match flipped {
                     Some(inst) => image.text[index] = inst.encode(),
-                    None => image.text[index] ^= 1 << rng.gen_range(0..32),
+                    None => image.text[index] ^= 1 << rng.below(32),
                 }
                 true
             }
@@ -139,10 +137,10 @@ impl Attack {
                     return false;
                 }
                 let chunks = len / CHUNK;
-                let from = rng.gen_range(0..chunks);
-                let mut to = rng.gen_range(0..chunks);
+                let from = rng.index(chunks);
+                let mut to = rng.index(chunks);
                 while to == from {
-                    to = rng.gen_range(0..chunks);
+                    to = rng.index(chunks);
                 }
                 let src: Vec<u32> = image.text[from * CHUNK..(from + 1) * CHUNK].to_vec();
                 image.text[to * CHUNK..(to + 1) * CHUNK].copy_from_slice(&src);
@@ -187,12 +185,12 @@ fn writes_zero(word: u32) -> bool {
 }
 
 /// A random, valid, non-control instruction.
-fn random_valid_inst(rng: &mut StdRng) -> Inst {
-    let rd = Reg::from_bits(rng.gen_range(0..32));
-    let rs = Reg::from_bits(rng.gen_range(0..32));
-    let rt = Reg::from_bits(rng.gen_range(0..32));
-    let imm: i16 = rng.gen();
-    match rng.gen_range(0..6) {
+fn random_valid_inst(rng: &mut Rng64) -> Inst {
+    let rd = Reg::from_bits(rng.below(32) as u32);
+    let rs = Reg::from_bits(rng.below(32) as u32);
+    let rt = Reg::from_bits(rng.below(32) as u32);
+    let imm: i16 = rng.next_i16();
+    match rng.below(6) {
         0 => Inst::Addu { rd, rs, rt },
         1 => Inst::Xor { rd, rs, rt },
         2 => Inst::Addi { rt, rs, imm },
@@ -204,7 +202,7 @@ fn random_valid_inst(rng: &mut StdRng) -> Inst {
         4 => Inst::Sll {
             rd,
             rt,
-            sh: rng.gen_range(0..32),
+            sh: rng.below(32) as u8,
         },
         _ => Inst::Sub { rd, rs, rt },
     }
@@ -213,7 +211,6 @@ fn random_valid_inst(rng: &mut StdRng) -> Inst {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn sample_image() -> Image {
         flexprot_asm::assemble_or_panic(
@@ -230,7 +227,7 @@ loop:   addi $t0, $t0, -1
     #[test]
     fn every_attack_mutates_or_reports_inapplicable() {
         for attack in Attack::all() {
-            let mut rng = StdRng::seed_from_u64(42);
+            let mut rng = Rng64::new(42);
             let original = sample_image();
             let mut image = original.clone();
             let applied = attack.apply(&mut image, &mut rng);
@@ -245,7 +242,7 @@ loop:   addi $t0, $t0, -1
 
     #[test]
     fn bitflip_changes_exactly_one_bit() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         let original = sample_image();
         let mut image = original.clone();
         assert!(Attack::BitFlip.apply(&mut image, &mut rng));
@@ -269,7 +266,7 @@ loop:   addi $t0, $t0, -1
         // Try seeds until the branch word is picked; each hit must invert.
         let mut inverted = false;
         for seed in 0..200 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng64::new(seed);
             let mut mutated = image.clone();
             Attack::BranchFlip.apply(&mut mutated, &mut rng);
             if let Ok(Inst::Blez { .. }) = Inst::decode(mutated.text[bgtz_index]) {
@@ -282,7 +279,7 @@ loop:   addi $t0, $t0, -1
 
     #[test]
     fn guard_strip_noop_on_unguarded_binary() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         let mut image = sample_image();
         assert!(!Attack::GuardStrip.apply(&mut image, &mut rng));
     }
@@ -291,7 +288,7 @@ loop:   addi $t0, $t0, -1
     fn guard_strip_removes_guard_runs() {
         use flexprot_core::{insert_guards, GuardConfig};
         let out = insert_guards(&sample_image(), &GuardConfig::with_density(1.0), None).unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng64::new(3);
         let mut image = out.image.clone();
         assert!(Attack::GuardStrip.apply(&mut image, &mut rng));
         // Every guard site must now be NOPs.
@@ -305,7 +302,7 @@ loop:   addi $t0, $t0, -1
 
     #[test]
     fn replay_copies_a_chunk() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng64::new(9);
         // Need >= 16 words.
         let mut src = "main:\n".to_owned();
         for i in 1..=20 {
@@ -321,7 +318,7 @@ loop:   addi $t0, $t0, -1
 
     #[test]
     fn random_valid_instructions_decode() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng64::new(5);
         for _ in 0..500 {
             let inst = random_valid_inst(&mut rng);
             assert_eq!(Inst::decode(inst.encode()), Ok(inst));

@@ -1,9 +1,9 @@
 //! The detection-coverage evaluation harness.
 
 use flexprot_core::Protected;
+use flexprot_isa::{Image, Rng64};
+use flexprot_secmon::SecMonConfig;
 use flexprot_sim::{Outcome, SimConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::attacks::Attack;
 
@@ -41,6 +41,9 @@ pub struct AttackSummary {
     pub benign: u32,
     /// Fuel exhaustion.
     pub timeout: u32,
+    /// Trials the static verifier flagged before any execution — the
+    /// zero-latency detection baseline.
+    pub static_detected: u32,
     /// Sum of detection latencies (instructions), for averaging.
     pub latency_sum: u64,
     /// Individual detection latencies (instructions), for percentiles.
@@ -58,6 +61,17 @@ impl AttackSummary {
             1.0
         } else {
             f64::from(self.detected + self.faulted) / f64::from(effective)
+        }
+    }
+
+    /// Fraction of applied trials `fplint` flags without running a single
+    /// instruction. Compare with [`AttackSummary::detection_rate`]: the
+    /// static pass has zero latency but only sees what the contract signs.
+    pub fn static_detection_rate(&self) -> f64 {
+        if self.applied == 0 {
+            0.0
+        } else {
+            f64::from(self.static_detected) / f64::from(self.applied)
         }
     }
 
@@ -96,13 +110,17 @@ impl AttackSummary {
         self.wrong_output += other.wrong_output;
         self.benign += other.benign;
         self.timeout += other.timeout;
+        self.static_detected += other.static_detected;
         self.latency_sum += other.latency_sum;
         self.latencies.extend_from_slice(&other.latencies);
     }
 
-    fn record(&mut self, outcome: TrialOutcome) {
+    fn record(&mut self, outcome: TrialOutcome, static_flagged: bool) {
         if outcome != TrialOutcome::Inapplicable {
             self.applied += 1;
+            if static_flagged {
+                self.static_detected += 1;
+            }
         }
         match outcome {
             TrialOutcome::Detected { latency_instrs } => {
@@ -119,18 +137,30 @@ impl AttackSummary {
     }
 }
 
-/// Runs one attacked trial.
+/// Whether the static verifier flags `image` against `config` — the
+/// zero-execution detection baseline. A tampered image caught here never
+/// needs to run at all; compare with the runtime latencies the dynamic
+/// trials measure.
+pub fn static_detects(image: &Image, config: &SecMonConfig) -> bool {
+    !flexprot_verify::verify(image, config).is_clean()
+}
+
+/// Runs one attacked trial (dynamic classification only).
 pub fn run_trial(
     protected: &Protected,
     expected_output: &str,
     attack: Attack,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     sim: &SimConfig,
 ) -> TrialOutcome {
     let mut mutated = protected.clone();
     if !attack.apply(&mut mutated.image, rng) {
         return TrialOutcome::Inapplicable;
     }
+    classify(&mutated, expected_output, sim)
+}
+
+fn classify(mutated: &Protected, expected_output: &str, sim: &SimConfig) -> TrialOutcome {
     let result = mutated.run(sim.clone());
     match result.outcome {
         Outcome::TamperDetected(_) => TrialOutcome::Detected {
@@ -155,10 +185,16 @@ pub fn evaluate(
     seed: u64,
     sim: &SimConfig,
 ) -> AttackSummary {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut summary = AttackSummary::default();
     for _ in 0..trials {
-        summary.record(run_trial(protected, expected_output, attack, &mut rng, sim));
+        let mut mutated = protected.clone();
+        if !attack.apply(&mut mutated.image, &mut rng) {
+            summary.record(TrialOutcome::Inapplicable, false);
+            continue;
+        }
+        let flagged = static_detects(&mutated.image, &mutated.secmon);
+        summary.record(classify(&mutated, expected_output, sim), flagged);
     }
     summary
 }
@@ -236,7 +272,14 @@ loop:   addu $s0, $s0, $t0
             .with_guards(GuardConfig::with_density(1.0))
             .with_encryption(EncryptConfig::whole_program(0xC0DE));
         let protected = protect(&image, &config, None).unwrap();
-        let summary = evaluate(&protected, &expected, Attack::CodeInject, 30, 11, &fast_sim());
+        let summary = evaluate(
+            &protected,
+            &expected,
+            Attack::CodeInject,
+            30,
+            11,
+            &fast_sim(),
+        );
         // The attacker's plaintext payload decrypts to junk: never a clean
         // wrong-output win.
         assert_eq!(
@@ -264,10 +307,64 @@ loop:   addu $s0, $s0, $t0
     }
 
     #[test]
+    fn static_baseline_flags_every_effective_tamper() {
+        // With full-density guards and relocation records, every mutation
+        // that changes runtime behaviour perturbs a signed bit, so the
+        // static verifier must flag it before a single instruction runs.
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let mut rng = Rng64::new(21);
+        let (mut flagged, mut effective) = (0u32, 0u32);
+        for attack in [Attack::BitFlip, Attack::BranchFlip, Attack::NopOut] {
+            for _ in 0..12 {
+                let mut mutated = protected.clone();
+                if !attack.apply(&mut mutated.image, &mut rng) {
+                    continue;
+                }
+                let statically = static_detects(&mutated.image, &mutated.secmon);
+                let outcome = classify(&mutated, &expected, &fast_sim());
+                if !matches!(outcome, TrialOutcome::Benign | TrialOutcome::Inapplicable) {
+                    effective += 1;
+                    assert!(
+                        statically,
+                        "{}: dynamic {outcome:?} but static verification missed it",
+                        attack.name()
+                    );
+                }
+                if statically {
+                    flagged += 1;
+                }
+            }
+        }
+        assert!(effective > 0, "the attack mix must perturb something");
+        assert!(flagged >= effective);
+    }
+
+    #[test]
+    fn evaluate_reports_the_static_baseline() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let summary = evaluate(&protected, &expected, Attack::BitFlip, 40, 7, &fast_sim());
+        assert!(summary.static_detected > 0, "{summary:?}");
+        assert!(summary.static_detection_rate() > 0.5, "{summary:?}");
+        assert!(
+            summary.static_detected >= summary.detected + summary.faulted + summary.wrong_output,
+            "static must dominate the dynamic outcomes: {summary:?}"
+        );
+    }
+
+    #[test]
     fn latency_quantiles() {
         let mut s = AttackSummary::default();
         for latency in [10u64, 20, 30, 40, 50] {
-            s.record(TrialOutcome::Detected { latency_instrs: latency });
+            s.record(
+                TrialOutcome::Detected {
+                    latency_instrs: latency,
+                },
+                true,
+            );
         }
         assert_eq!(s.latency_quantile(0.0), Some(10));
         assert_eq!(s.latency_quantile(0.5), Some(30));
@@ -278,10 +375,10 @@ loop:   addu $s0, $s0, $t0
     #[test]
     fn merge_accumulates() {
         let mut a = AttackSummary::default();
-        a.record(TrialOutcome::Detected { latency_instrs: 5 });
+        a.record(TrialOutcome::Detected { latency_instrs: 5 }, true);
         let mut b = AttackSummary::default();
-        b.record(TrialOutcome::WrongOutput);
-        b.record(TrialOutcome::Benign);
+        b.record(TrialOutcome::WrongOutput, true);
+        b.record(TrialOutcome::Benign, false);
         a.merge(&b);
         assert_eq!(a.applied, 3);
         assert_eq!(a.detected, 1);
@@ -292,11 +389,11 @@ loop:   addu $s0, $s0, $t0
     #[test]
     fn summary_rates_are_consistent() {
         let mut s = AttackSummary::default();
-        s.record(TrialOutcome::Detected { latency_instrs: 10 });
-        s.record(TrialOutcome::Detected { latency_instrs: 30 });
-        s.record(TrialOutcome::WrongOutput);
-        s.record(TrialOutcome::Benign);
-        s.record(TrialOutcome::Inapplicable);
+        s.record(TrialOutcome::Detected { latency_instrs: 10 }, true);
+        s.record(TrialOutcome::Detected { latency_instrs: 30 }, true);
+        s.record(TrialOutcome::WrongOutput, false);
+        s.record(TrialOutcome::Benign, false);
+        s.record(TrialOutcome::Inapplicable, false);
         assert_eq!(s.applied, 4);
         assert_eq!(s.detection_rate(), 2.0 / 3.0);
         assert_eq!(s.attacker_success_rate(), 0.25);
@@ -306,7 +403,7 @@ loop:   addu $s0, $s0, $t0
     #[test]
     fn all_benign_counts_as_full_detection() {
         let mut s = AttackSummary::default();
-        s.record(TrialOutcome::Benign);
+        s.record(TrialOutcome::Benign, false);
         assert_eq!(s.detection_rate(), 1.0);
         assert_eq!(s.mean_latency(), None);
     }

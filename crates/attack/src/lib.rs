@@ -22,4 +22,4 @@ pub mod attacks;
 pub mod harness;
 
 pub use attacks::Attack;
-pub use harness::{evaluate, AttackSummary, TrialOutcome};
+pub use harness::{evaluate, static_detects, AttackSummary, TrialOutcome};

@@ -77,7 +77,8 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create csv dir");
             let path = format!("{dir}/{}.csv", id.to_lowercase());
             let mut file = std::fs::File::create(&path).expect("create csv");
-            file.write_all(table.to_csv().as_bytes()).expect("write csv");
+            file.write_all(table.to_csv().as_bytes())
+                .expect("write csv");
             eprintln!("wrote {path}");
         }
     }

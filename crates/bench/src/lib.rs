@@ -22,12 +22,13 @@
 //! Run them all with `cargo run --release -p flexprot-bench --bin
 //! experiments` (add `--quick` for a fast subset).
 
+pub mod micro;
 pub mod table;
 
 use flexprot_attack::{evaluate, Attack};
 use flexprot_core::{
-    optimize, protect, EncryptConfig, GuardConfig, OptimizerConfig, Placement,
-    Profile, ProtectionConfig, Protected, Selection,
+    optimize, protect, EncryptConfig, GuardConfig, OptimizerConfig, Placement, Profile, Protected,
+    ProtectionConfig, Selection,
 };
 use flexprot_isa::Image;
 use flexprot_secmon::DecryptModel;
@@ -136,11 +137,7 @@ fn fmt_pct(v: f64) -> String {
 }
 
 /// Protects and runs, asserting semantic preservation.
-fn run_protected(
-    workload: &Workload,
-    protected: &Protected,
-    sim: &SimConfig,
-) -> RunResult {
+fn run_protected(workload: &Workload, protected: &Protected, sim: &SimConfig) -> RunResult {
     let result = protected.run(sim.clone());
     assert_eq!(
         result.outcome,
@@ -174,8 +171,14 @@ pub fn t1_characterize(params: &Params) -> Table {
         "T1",
         "Workload characterization (baseline, default caches)",
         &[
-            "workload", "text-words", "data-bytes", "dyn-instrs", "cycles", "CPI",
-            "icache-miss%", "dcache-miss%",
+            "workload",
+            "text-words",
+            "data-bytes",
+            "dyn-instrs",
+            "cycles",
+            "CPI",
+            "icache-miss%",
+            "dcache-miss%",
         ],
     );
     for w in params.workloads() {
@@ -209,12 +212,9 @@ pub fn t2_size_overhead(params: &Params) -> Table {
         let image = w.image();
         let mut row = vec![w.name.to_owned(), image.text.len().to_string()];
         for d in params.densities() {
-            let config =
-                ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
+            let config = ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
             let protected = protect(&image, &config, None).expect("protect");
-            row.push(fmt_pct(
-                protected.report.size_overhead_fraction() * 100.0,
-            ));
+            row.push(fmt_pct(protected.report.size_overhead_fraction() * 100.0));
         }
         table.push(row);
     }
@@ -237,8 +237,7 @@ pub fn f1_guard_density(params: &Params) -> Table {
         let b = baseline(&w, &sim);
         let mut row = vec![w.name.to_owned()];
         for d in params.densities() {
-            let config =
-                ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
+            let config = ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
             let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
             let r = run_protected(&w, &protected, &sim);
             row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
@@ -251,7 +250,11 @@ pub fn f1_guard_density(params: &Params) -> Table {
 /// F2 — runtime overhead vs decrypt latency (whole-program encryption).
 pub fn f2_decrypt_latency(params: &Params) -> Table {
     let sim = SimConfig::default();
-    let cpws: &[u64] = if params.quick { &[2, 8] } else { &[0, 1, 2, 4, 8] };
+    let cpws: &[u64] = if params.quick {
+        &[2, 8]
+    } else {
+        &[0, 1, 2, 4, 8]
+    };
     let mut headers = vec!["workload".to_owned()];
     for &c in cpws {
         headers.push(format!("serial@{c}"));
@@ -316,8 +319,8 @@ pub fn f3_icache_sweep(params: &Params) -> Table {
                 ..SimConfig::default()
             };
             let b = baseline(&w, &sim);
-            let config = ProtectionConfig::new()
-                .with_encryption(EncryptConfig::whole_program(ENC_KEY));
+            let config =
+                ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY));
             let protected = protect(&b.image, &config, None).expect("protect");
             let r = run_protected(&w, &protected, &sim);
             row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
@@ -355,8 +358,16 @@ pub fn t3_detection(params: &Params) -> Table {
         "T3",
         "Tamper-detection coverage (aggregated over attack workloads)",
         &[
-            "config", "attack", "applied", "detected", "faulted", "wrong-out", "benign",
-            "det-rate%", "atk-success%", "mean-latency",
+            "config",
+            "attack",
+            "applied",
+            "detected",
+            "faulted",
+            "wrong-out",
+            "benign",
+            "det-rate%",
+            "atk-success%",
+            "mean-latency",
         ],
     );
     for (config_name, config) in t3_configs() {
@@ -410,7 +421,13 @@ pub fn f4_pareto(params: &Params) -> Table {
         "F4",
         "Profile-guided budget optimizer: coverage vs measured overhead",
         &[
-            "workload", "budget%", "coverage", "est+%", "measured+%", "guards", "enc-fns",
+            "workload",
+            "budget%",
+            "coverage",
+            "est+%",
+            "measured+%",
+            "guards",
+            "enc-fns",
         ],
     );
     for w in params.workloads() {
@@ -473,8 +490,7 @@ pub fn t4_placement(params: &Params) -> Table {
         let b = baseline(&w, &sim);
         let mut row = vec![w.name.to_owned()];
         for (_, placement) in policies {
-            let config =
-                ProtectionConfig::new().with_guards(guard_config(density, placement));
+            let config = ProtectionConfig::new().with_guards(guard_config(density, placement));
             let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
             let r = run_protected(&w, &protected, &sim);
             row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
@@ -514,10 +530,8 @@ pub fn f5_estimator(params: &Params) -> Table {
             // Estimate on the baseline layout, mirroring the pass's actual
             // selection (including loop-header enforcement).
             let selected = match &config.guards {
-                Some(g) => {
-                    flexprot_core::select_guard_blocks(&b.image, &cfg, g, Some(&b.profile))
-                        .expect("selection")
-                }
+                Some(g) => flexprot_core::select_guard_blocks(&b.image, &cfg, g, Some(&b.profile))
+                    .expect("selection"),
                 None => Default::default(),
             };
             let ranges: Vec<(u32, u32)> = if config.encryption.is_some() {
@@ -569,8 +583,7 @@ pub fn t5_diversity(params: &Params) -> Table {
             protect(&image, &config, None).expect("protect").image
         };
         let encrypted = |key: u64| {
-            let config =
-                ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(key));
+            let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(key));
             protect(&image, &config, None).expect("protect").image
         };
         let combined = |seed: u64| {
@@ -601,7 +614,11 @@ pub fn t6_stealth(params: &Params) -> Table {
         "T6",
         "Static stealth metrics (guard-run scanner, entropy, decodability)",
         &[
-            "workload", "config", "guard-runs", "entropy-b/B", "undecodable%",
+            "workload",
+            "config",
+            "guard-runs",
+            "entropy-b/B",
+            "undecodable%",
         ],
     );
     for w in params.workloads() {

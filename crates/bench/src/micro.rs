@@ -1,0 +1,126 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The experiment tables are produced by the `experiments` binary; the
+//! bench targets only need wall-clock timings of isolated operations, so
+//! this self-contained harness (calibrated iteration count, fixed sample
+//! count, min/median/mean report) replaces an external benchmarking
+//! dependency. Run with `cargo bench -p flexprot-bench`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample timing state handed to the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, collecting per-iteration timings.
+    ///
+    /// The iteration count is calibrated until one sample takes ≳2 ms, then
+    /// a fixed number of samples is recorded.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up (fills caches, faults pages)
+        self.iters = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            if start.elapsed() >= Duration::from_millis(2) || self.iters >= 1 << 20 {
+                break;
+            }
+            self.iters *= 2;
+        }
+        const SAMPLES: usize = 10;
+        self.samples.clear();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed() / self.iters as u32);
+        }
+    }
+}
+
+/// The registry each bench target drives: collects named measurements and
+/// prints one summary line per benchmark.
+#[derive(Default)]
+pub struct Bench;
+
+impl Bench {
+    /// Creates the harness.
+    pub fn new() -> Bench {
+        Bench
+    }
+
+    /// Measures `f` (which must call [`Bencher::iter`]) and prints the
+    /// timing summary for `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            iters: 1,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_unstable();
+        let (min, median) = match sorted.len() {
+            0 => (Duration::ZERO, Duration::ZERO),
+            n => (sorted[0], sorted[n / 2]),
+        };
+        let mean = sorted
+            .iter()
+            .sum::<Duration>()
+            .checked_div(sorted.len().max(1) as u32)
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "{name:<40} min {:>12} median {:>12} mean {:>12} ({} iters/sample)",
+            format_duration(min),
+            format_duration(median),
+            format_duration(mean),
+            bencher.iters,
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Bench::new();
+        let mut calls = 0u64;
+        c.bench_function("micro/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 10, "iter must actually loop, got {calls}");
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(5)), "5.00 s");
+    }
+}

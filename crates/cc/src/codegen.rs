@@ -78,16 +78,13 @@ struct Frame {
 
 impl Frame {
     fn lookup(&self, name: &str) -> Option<usize> {
-        self.scopes
-            .iter()
-            .rev()
-            .find_map(|scope| {
-                scope
-                    .iter()
-                    .rev()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, slot)| *slot)
-            })
+        self.scopes.iter().rev().find_map(|scope| {
+            scope
+                .iter()
+                .rev()
+                .find(|(n, _)| n == name)
+                .map(|(_, slot)| *slot)
+        })
     }
 
     /// Declares `name` in the innermost scope; errors on a duplicate in the
@@ -499,10 +496,13 @@ impl Generator {
                 self.emit("lw $t0, 0($t8)");
             }
             Expr::Call(name, args) => {
-                let sig = self.functions.get(name.as_str()).ok_or_else(|| CodegenError {
-                    line: 0,
-                    message: format!("call to unknown function `{name}`"),
-                })?;
+                let sig = self
+                    .functions
+                    .get(name.as_str())
+                    .ok_or_else(|| CodegenError {
+                        line: 0,
+                        message: format!("call to unknown function `{name}`"),
+                    })?;
                 if sig.params != args.len() {
                     return Err(CodegenError {
                         line: 0,
@@ -613,7 +613,8 @@ fn count_decls(body: &[Stmt]) -> usize {
             Stmt::For {
                 init, body, step, ..
             } => {
-                init.as_ref().map_or(0, |s| count_decls(std::slice::from_ref(s)))
+                init.as_ref()
+                    .map_or(0, |s| count_decls(std::slice::from_ref(s)))
                     + count_decls(body)
                     + step
                         .as_ref()

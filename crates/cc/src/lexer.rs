@@ -175,8 +175,9 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, LexError> {
                     while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
                         i += 1;
                     }
-                    i64::from_str_radix(&source[hex_start..i], 16)
-                        .map_err(|_| err(line, format!("bad hex literal `{}`", &source[start..i])))?
+                    i64::from_str_radix(&source[hex_start..i], 16).map_err(|_| {
+                        err(line, format!("bad hex literal `{}`", &source[start..i]))
+                    })?
                 } else {
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                         i += 1;

@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_precedence() {
-        assert_eq!(run("int main() { print(1 + 2 * 3 - 4 / 2); return 0; }"), "5");
+        assert_eq!(
+            run("int main() { print(1 + 2 * 3 - 4 / 2); return 0; }"),
+            "5"
+        );
         assert_eq!(run("int main() { print((1 + 2) * 3); return 0; }"), "9");
         assert_eq!(run("int main() { print(7 % 3); return 0; }"), "1");
         assert_eq!(run("int main() { print(-5 + 2); return 0; }"), "-3");
@@ -113,12 +116,27 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        assert_eq!(run("int main() { print(3 < 4); print(4 < 3); return 0; }"), "10");
-        assert_eq!(run("int main() { print(3 <= 3); print(4 <= 3); return 0; }"), "10");
-        assert_eq!(run("int main() { print(5 == 5); print(5 != 5); return 0; }"), "10");
+        assert_eq!(
+            run("int main() { print(3 < 4); print(4 < 3); return 0; }"),
+            "10"
+        );
+        assert_eq!(
+            run("int main() { print(3 <= 3); print(4 <= 3); return 0; }"),
+            "10"
+        );
+        assert_eq!(
+            run("int main() { print(5 == 5); print(5 != 5); return 0; }"),
+            "10"
+        );
         assert_eq!(run("int main() { print(!0); print(!7); return 0; }"), "10");
-        assert_eq!(run("int main() { print(1 && 2); print(0 && 2); return 0; }"), "10");
-        assert_eq!(run("int main() { print(0 || 3); print(0 || 0); return 0; }"), "10");
+        assert_eq!(
+            run("int main() { print(1 && 2); print(0 && 2); return 0; }"),
+            "10"
+        );
+        assert_eq!(
+            run("int main() { print(0 || 3); print(0 || 0); return 0; }"),
+            "10"
+        );
     }
 
     #[test]
@@ -234,9 +252,15 @@ mod tests {
     fn deep_expression_stack() {
         // Deep nesting exercises the temporary stack discipline.
         let expr = "1".to_owned() + &" + 1".repeat(100);
-        assert_eq!(run(&format!("int main() {{ print({expr}); return 0; }}")), "101");
+        assert_eq!(
+            run(&format!("int main() {{ print({expr}); return 0; }}")),
+            "101"
+        );
         let nested = format!("{}1{}", "(".repeat(60), ")".repeat(60));
-        assert_eq!(run(&format!("int main() {{ print({nested}); return 0; }}")), "1");
+        assert_eq!(
+            run(&format!("int main() {{ print({nested}); return 0; }}")),
+            "1"
+        );
     }
 
     #[test]
@@ -260,7 +284,10 @@ mod tests {
             compile("int g; int g; int main() { return 0; }"),
             Err(CcError::Codegen(_))
         ));
-        assert!(matches!(compile("int f() { return 0; }"), Err(CcError::Codegen(_))));
+        assert!(matches!(
+            compile("int f() { return 0; }"),
+            Err(CcError::Codegen(_))
+        ));
         assert!(matches!(
             compile("int main() { int a = 1; int a = 2; return a; }"),
             Err(CcError::Codegen(_))

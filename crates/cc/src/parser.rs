@@ -362,9 +362,7 @@ impl Parser {
                 Some(op) => {
                     let current = match &target {
                         LValue::Var(name) => Expr::Var(name.clone()),
-                        LValue::Index(name, index) => {
-                            Expr::Index(name.clone(), index.clone())
-                        }
+                        LValue::Index(name, index) => Expr::Index(name.clone(), index.clone()),
                     };
                     Expr::Binary(op, Box::new(current), Box::new(rhs))
                 }
@@ -384,10 +382,7 @@ impl Parser {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some((op, prec)) = self.peek().and_then(op_of) else {
-                break;
-            };
+        while let Some((op, prec)) = self.peek().and_then(op_of) {
             if prec < min_prec {
                 break;
             }
@@ -515,15 +510,18 @@ mod tests {
 
     #[test]
     fn for_loop_parses() {
-        let p = parse("int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }")
-            .unwrap();
+        let p = parse(
+            "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } return s; }",
+        )
+        .unwrap();
         assert!(matches!(p.functions[0].body[1], Stmt::For { .. }));
     }
 
     #[test]
     fn builtins_parse() {
-        let p = parse(r#"int main() { print(1); printc('x'); printh(255); puts("hi"); return 0; }"#)
-            .unwrap();
+        let p =
+            parse(r#"int main() { print(1); printc('x'); printh(255); puts("hi"); return 0; }"#)
+                .unwrap();
         assert!(matches!(p.functions[0].body[0], Stmt::Print(_)));
         assert!(matches!(p.functions[0].body[3], Stmt::Puts(_)));
     }

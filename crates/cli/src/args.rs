@@ -12,11 +12,16 @@ pub struct Args {
 }
 
 /// Option names that take a value; everything else `--…` is a bare flag.
+/// A single-dash spelling (`-o value`) is accepted as an alias for a
+/// *declared* valued option; any other `-…` token stays positional.
 pub fn parse(args: &[String], valued: &[&str]) -> Result<Args, String> {
     let mut out = Args::default();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
-        if let Some(name) = arg.strip_prefix("--") {
+        let name = arg
+            .strip_prefix("--")
+            .or_else(|| arg.strip_prefix('-').filter(|n| valued.contains(n)));
+        if let Some(name) = name {
             if valued.contains(&name) {
                 let value = iter
                     .next()
@@ -64,11 +69,24 @@ mod tests {
 
     #[test]
     fn positional_and_options_mix() {
-        let args = parse(&split("in.s -x --density 0.5 --stats out.fpx"), &["density"]).unwrap();
+        let args = parse(
+            &split("in.s -x --density 0.5 --stats out.fpx"),
+            &["density"],
+        )
+        .unwrap();
         assert_eq!(args.positional, vec!["in.s", "-x", "out.fpx"]);
         assert_eq!(args.value("density"), Some("0.5"));
         assert!(args.has("stats"));
         assert!(!args.has("density-missing"));
+    }
+
+    #[test]
+    fn short_alias_for_valued_options() {
+        // `fpasm in.s -o out.fpx` — the usage strings advertise the short
+        // spelling, so a declared valued option must accept it.
+        let args = parse(&split("in.s -o out.fpx"), &["o"]).unwrap();
+        assert_eq!(args.positional, vec!["in.s"]);
+        assert_eq!(args.value("o"), Some("out.fpx"));
     }
 
     #[test]

@@ -111,8 +111,8 @@ pub fn fpobjdump(raw_args: &[String]) -> Result<String, CliError> {
         ));
     }
     if let Some(path) = args.value("secmon") {
-        let config = SecMonConfig::from_bytes(&read(path)?)
-            .map_err(|e| CliError(format!("{path}: {e}")))?;
+        let config =
+            SecMonConfig::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))?;
         out.push_str(&format!(
             "\nMONITOR CONFIG ({path})\n  guard sites: {}\n  window starts: {}\n  protected ranges: {}\n  reset points: {}\n  spacing bound: {}\n  encrypted regions: {}\n  decrypt: {} cyc/word, startup {}, {}\n  halt on tamper: {}\n",
             config.sites.len(),
@@ -157,8 +157,16 @@ pub fn fpprotect(raw_args: &[String]) -> Result<String, CliError> {
     let args = parse(
         raw_args,
         &[
-            "o", "secmon", "density", "placement", "encrypt", "guard-key", "enc-key", "seed",
-            "cycles-per-word", "watermark",
+            "o",
+            "secmon",
+            "density",
+            "placement",
+            "encrypt",
+            "guard-key",
+            "enc-key",
+            "seed",
+            "cycles-per-word",
+            "watermark",
         ],
     )?;
     let [input] = args.positional.as_slice() else {
@@ -315,6 +323,86 @@ pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
     })
 }
 
+/// What [`fplint`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintSummary {
+    /// Rendered report (human or CSV).
+    pub report: String,
+    /// Suggested process exit code: 0 clean, 1 error findings.
+    pub exit_code: i32,
+}
+
+/// `fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] [--allow L,..]
+/// [--csv] [--lints]`.
+///
+/// Statically verifies the protection contract of an image against its
+/// monitor configuration (transparent configuration if `--secmon` is
+/// omitted). `--deny`/`--allow` take comma-separated lint IDs or names;
+/// `--csv` switches to machine-readable output; `--lints` prints the lint
+/// table and exits.
+///
+/// # Errors
+///
+/// Reports I/O, format and policy failures. Findings are reported in the
+/// summary, not as errors.
+pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
+    use flexprot_verify::{lint_by_id, verify_with_policy, LintPolicy, LINTS};
+
+    let args = parse(raw_args, &["secmon", "deny", "allow"])?;
+    if args.has("lints") {
+        let mut out = String::new();
+        for lint in LINTS {
+            out.push_str(&format!(
+                "{}  {:<7}  {:<28}  {}\n",
+                lint.id, lint.default_severity, lint.name, lint.description
+            ));
+        }
+        return Ok(LintSummary {
+            report: out,
+            exit_code: 0,
+        });
+    }
+    let [input] = args.positional.as_slice() else {
+        return Err(CliError(
+            "usage: fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] \
+             [--allow L,..] [--csv] [--lints]"
+                .to_owned(),
+        ));
+    };
+    let image = load_image(input)?;
+    let config = match args.value("secmon") {
+        Some(path) => {
+            SecMonConfig::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))?
+        }
+        None => SecMonConfig::transparent(),
+    };
+    let list = |name: &str| -> Result<Vec<String>, CliError> {
+        let Some(value) = args.value(name) else {
+            return Ok(Vec::new());
+        };
+        value
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|key| {
+                lint_by_id(key)
+                    .map(|l| l.id.to_owned())
+                    .ok_or_else(|| CliError(format!("--{name}: unknown lint `{key}`")))
+            })
+            .collect()
+    };
+    let policy = LintPolicy::new(&list("deny")?, &list("allow")?).map_err(CliError)?;
+    let report = verify_with_policy(&image, &config, &policy);
+    Ok(LintSummary {
+        report: if args.has("csv") {
+            report.render_csv()
+        } else {
+            report.render_human()
+        },
+        exit_code: i32::from(!report.is_clean()),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,7 +438,15 @@ mod tests {
         assert!(msg.contains("text words"), "{msg}");
 
         let msg = fpprotect(&strs(&[
-            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0", "--encrypt", "program",
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+            "--encrypt",
+            "program",
         ]))
         .unwrap();
         assert!(msg.contains("guards"), "{msg}");
@@ -385,7 +481,15 @@ mod tests {
         let fpm = tmp("dumpcfg.fpm");
         fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
         fpprotect(&strs(&[
-            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0", "--encrypt", "program",
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+            "--encrypt",
+            "program",
         ]))
         .unwrap();
         let dump = fpobjdump(&strs(&[&prot, "--secmon", &fpm])).unwrap();
@@ -401,7 +505,16 @@ mod tests {
         let prot = tmp("tamper.prot.fpx");
         let fpm = tmp("tamper.fpm");
         fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
-        fpprotect(&strs(&[&fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0"])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+        ]))
+        .unwrap();
         // Flip one bit in the protected image on disk.
         let mut image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
         image.text[0] ^= 1 << 22;
@@ -420,6 +533,82 @@ mod tests {
         assert!(fpprotect(&[]).is_err());
         assert!(fprun(&[]).is_err());
         assert!(fprun(&strs(&["/nonexistent.fpx"])).is_err());
+        assert!(fplint(&[]).is_err());
+        assert!(fplint(&strs(&["/nonexistent.fpx"])).is_err());
+    }
+
+    #[test]
+    fn fplint_verdicts_follow_tampering() {
+        let src = write_sample_source("lint.s");
+        let fpx = tmp("lint.fpx");
+        let prot = tmp("lint.prot.fpx");
+        let fpm = tmp("lint.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+            "--encrypt",
+            "program",
+        ]))
+        .unwrap();
+
+        // Pipeline output verifies clean.
+        let clean = fplint(&strs(&[&prot, "--secmon", &fpm])).unwrap();
+        assert_eq!(clean.exit_code, 0, "{}", clean.report);
+        assert!(clean.report.contains("0 error(s)"), "{}", clean.report);
+
+        // A flipped text bit flips the verdict, with a stable lint ID.
+        let mut image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
+        image.text[1] ^= 1 << 3;
+        let bad = tmp("lint.bad.fpx");
+        std::fs::write(&bad, image.to_bytes()).unwrap();
+        let dirty = fplint(&strs(&[&bad, "--secmon", &fpm])).unwrap();
+        assert_eq!(dirty.exit_code, 1, "{}", dirty.report);
+        assert!(dirty.report.contains("[FP1"), "{}", dirty.report);
+
+        // CSV output carries the same findings machine-readably.
+        let csv = fplint(&strs(&[&bad, "--secmon", &fpm, "--csv"])).unwrap();
+        assert!(csv.report.starts_with("id,name,severity,addr,message"));
+        assert_eq!(csv.exit_code, 1);
+
+        // Allowing every fired lint flips the verdict back to clean.
+        let relaxed = fplint(&strs(&[
+            &bad,
+            "--secmon",
+            &fpm,
+            "--allow",
+            "FP101,FP102,FP301",
+        ]))
+        .unwrap();
+        assert_eq!(relaxed.exit_code, 0, "{}", relaxed.report);
+    }
+
+    #[test]
+    fn fplint_lints_and_policy_validation() {
+        let table = fplint(&strs(&["--lints"])).unwrap();
+        assert_eq!(table.exit_code, 0);
+        assert!(table.report.contains("FP102"), "{}", table.report);
+        assert!(
+            table.report.contains("signature-mismatch"),
+            "{}",
+            table.report
+        );
+
+        let src = write_sample_source("lintpol.s");
+        let fpx = tmp("lintpol.fpx");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        let err = fplint(&strs(&[&fpx, "--deny", "FP999"])).unwrap_err();
+        assert!(err.to_string().contains("unknown lint"), "{err}");
+
+        // A bare image under the transparent config is clean, and denying
+        // a note-level lint can make it fail.
+        let ok = fplint(&strs(&[&fpx])).unwrap();
+        assert_eq!(ok.exit_code, 0, "{}", ok.report);
     }
 
     #[test]
@@ -502,7 +691,15 @@ mod fpcc_tests {
         let prot = tmp("prog.prot.fpx");
         let fpm = tmp("prog.fpm");
         fpprotect(&strs(&[
-            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "0.5", "--encrypt", "block",
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "0.5",
+            "--encrypt",
+            "block",
         ]))
         .unwrap();
         let run = fprun(&strs(&[&prot, "--secmon", &fpm])).unwrap();
@@ -523,8 +720,17 @@ mod fpcc_tests {
         let prot = tmp("prof.prot.fpx");
         let fpm = tmp("prof.fpm");
         fpprotect(&strs(&[
-            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "0.3", "--placement", "coldest",
-            "--profile", "--no-spacing",
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "0.3",
+            "--placement",
+            "coldest",
+            "--profile",
+            "--no-spacing",
         ]))
         .unwrap();
         let run = fprun(&strs(&[&prot, "--secmon", &fpm])).unwrap();
@@ -541,12 +747,20 @@ mod fpcc_tests {
         let prot = tmp("wm.prot.fpx");
         let fpm = tmp("wm.fpm");
         fpprotect(&strs(&[
-            &fpx, "--o", &prot, "--secmon", &fpm, "--density", "1.0", "--watermark", "K9",
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+            "--watermark",
+            "K9",
         ]))
         .unwrap();
         let image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
-        let config = flexprot_secmon::SecMonConfig::from_bytes(&std::fs::read(&fpm).unwrap())
-            .unwrap();
+        let config =
+            flexprot_secmon::SecMonConfig::from_bytes(&std::fs::read(&fpm).unwrap()).unwrap();
         let protected = flexprot_core::Protected {
             image,
             secmon: config,

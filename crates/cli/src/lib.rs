@@ -1,6 +1,6 @@
 //! Driver logic for the command-line toolchain.
 //!
-//! Each binary (`fpasm`, `fpobjdump`, `fpprotect`, `fprun`) is a thin
+//! Each binary (`fpasm`, `fpobjdump`, `fpprotect`, `fprun`, `fplint`) is a thin
 //! wrapper around a driver function here, so the full argument-parsing and
 //! I/O logic is unit-testable without spawning processes.
 //!
@@ -10,6 +10,7 @@
 //! fpasm program.s -o program.fpx
 //! fpprotect program.fpx -o program.prot.fpx --secmon program.fpm \
 //!           --density 0.5 --encrypt function
+//! fplint program.prot.fpx --secmon program.fpm   # static self-check
 //! fprun program.prot.fpx --secmon program.fpm --stats
 //! fpobjdump program.prot.fpx          # ciphertext: mostly .word noise
 //! ```
@@ -17,4 +18,6 @@
 pub mod args;
 pub mod drivers;
 
-pub use drivers::{fpasm, fpcc, fpobjdump, fpprotect, fprun, CliError, RunSummary};
+pub use drivers::{
+    fpasm, fpcc, fplint, fpobjdump, fpprotect, fprun, CliError, LintSummary, RunSummary,
+};

@@ -114,9 +114,7 @@ impl Cfg {
     /// The block whose range contains `addr`, if any.
     pub fn block_at(&self, image: &Image, addr: u32) -> Option<&Block> {
         let index = image.text_index_of(addr)?;
-        let pos = self
-            .blocks
-            .partition_point(|b| b.start + b.len <= index);
+        let pos = self.blocks.partition_point(|b| b.start + b.len <= index);
         self.blocks
             .get(pos)
             .filter(|b| b.start <= index && index < b.start + b.len)
@@ -350,7 +348,10 @@ end:    syscall
         );
         // Blocks: [beq], [li;b], [yes: li], [end: syscall]
         assert_eq!(cfg.blocks.len(), 4);
-        assert!(matches!(cfg.blocks[0].terminator, Terminator::Branch { .. }));
+        assert!(matches!(
+            cfg.blocks[0].terminator,
+            Terminator::Branch { .. }
+        ));
         assert_eq!(cfg.blocks[0].succs, vec![2, 1]);
         assert_eq!(cfg.blocks[1].succs, vec![3]); // b end
         assert_eq!(cfg.blocks[2].succs, vec![3]);

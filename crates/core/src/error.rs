@@ -17,6 +17,14 @@ pub enum ProtectError {
     RelocOverflow { addr: u32, target: u32 },
     /// A configuration parameter is out of range.
     BadConfig(String),
+    /// The independent post-protection verification found error-severity
+    /// findings — the toolchain refused to ship an image it cannot prove.
+    VerificationFailed {
+        /// Number of error-severity findings.
+        errors: usize,
+        /// The first finding, preformatted for display.
+        first: String,
+    },
 }
 
 impl fmt::Display for ProtectError {
@@ -44,6 +52,12 @@ impl fmt::Display for ProtectError {
                 )
             }
             ProtectError::BadConfig(ref msg) => write!(f, "invalid configuration: {msg}"),
+            ProtectError::VerificationFailed { errors, ref first } => {
+                write!(
+                    f,
+                    "post-protection verification failed with {errors} error(s); first: {first}"
+                )
+            }
         }
     }
 }
@@ -62,6 +76,8 @@ mod tests {
         assert!(ProtectError::MissingReloc { addr: 4 }
             .to_string()
             .contains("relocation"));
-        assert!(ProtectError::BadConfig("x".into()).to_string().contains("x"));
+        assert!(ProtectError::BadConfig("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -70,9 +70,7 @@ pub fn decrypt_extra_cycles(
 ) -> u64 {
     ranges
         .iter()
-        .map(|&(start, end)| {
-            profile.miss_fills_in(start, end) * model.fill_penalty(line_words)
-        })
+        .map(|&(start, end)| profile.miss_fills_in(start, end) * model.fill_penalty(line_words))
         .sum()
 }
 
@@ -135,12 +133,7 @@ loop:   addi $t0, $t0, -1
             startup: 4,
             pipelined: false,
         };
-        let all = decrypt_extra_cycles(
-            &profile,
-            &[(image.text_base, image.text_end())],
-            model,
-            8,
-        );
+        let all = decrypt_extra_cycles(&profile, &[(image.text_base, image.text_end())], model, 8);
         let none = decrypt_extra_cycles(&profile, &[(0, 4)], model, 8);
         assert!(all > 0);
         assert_eq!(none, 0);

@@ -14,11 +14,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use flexprot_isa::{Image, Inst, Reloc, RelocKind};
+use flexprot_isa::{Image, Inst, Reloc, RelocKind, Rng64};
 use flexprot_secmon::guard::{encode_guard_inst, signature_symbols, WindowHasher, SIG_SYMBOLS};
 use flexprot_secmon::schedule::{GuardSite, ProtectedRange, SecMonConfig};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::cfg::Cfg;
 use crate::error::ProtectError;
@@ -124,7 +122,15 @@ pub fn select_guard_blocks(
                 )));
             }
             let all: Vec<usize> = (0..cfg.blocks.len()).collect();
-            place::select_in(cfg, image, &all, *density, config.placement, profile, config.seed)
+            place::select_in(
+                cfg,
+                image,
+                &all,
+                *density,
+                config.placement,
+                profile,
+                config.seed,
+            )
         }
         Selection::PerFunction(densities) => {
             let mut sel = BTreeSet::new();
@@ -195,7 +201,7 @@ pub fn insert_guards(
         if selected.contains(&bi) {
             let site_new = new_text.len();
             guard_slots.push((bi, leader_new, site_new));
-            new_text.extend(std::iter::repeat(Inst::NOP.encode()).take(sig_len));
+            new_text.extend(std::iter::repeat_n(Inst::NOP.encode(), sig_len));
         }
         for w in body..block.len {
             old2new[block.start + w] = new_text.len();
@@ -239,8 +245,8 @@ pub fn insert_guards(
         let new_target = map_addr(reloc.target);
         let addr = new_addr(new_index);
         let word = out.text[new_index];
-        out.text[new_index] = patch_field(word, reloc.kind, new_target, addr)
-            .ok_or(ProtectError::RelocOverflow {
+        out.text[new_index] =
+            patch_field(word, reloc.kind, new_target, addr).ok_or(ProtectError::RelocOverflow {
                 addr,
                 target: new_target,
             })?;
@@ -252,7 +258,7 @@ pub fn insert_guards(
     }
 
     // --- sign windows and emit guard words ---
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6A4D_5157);
+    let mut rng = Rng64::new(config.seed ^ 0x6A4D_5157);
     let mut sites = BTreeMap::new();
     let mut window_starts = BTreeSet::new();
     for &(bi, leader_new, site_new) in &guard_slots {
@@ -271,7 +277,7 @@ pub fn insert_guards(
         }
         let digest = hasher.digest();
         for (k, symbol) in signature_symbols(digest).into_iter().enumerate() {
-            let salt: u8 = rng.gen();
+            let salt: u8 = rng.next_u8();
             out.text[site_new + k] = encode_guard_inst(symbol, salt).encode();
         }
         sites.insert(
@@ -366,7 +372,7 @@ fn patch_field(word: u32, kind: RelocKind, target: u32, inst_addr: u32) -> Optio
         RelocKind::Lo16 => Some((word & 0xFFFF_0000) | (target & 0xFFFF)),
         RelocKind::Jump26 => {
             let words = target >> 2;
-            (words < (1 << 26)).then(|| (word & 0xFC00_0000) | words)
+            (words < (1 << 26)).then_some((word & 0xFC00_0000) | words)
         }
         RelocKind::Branch16 => {
             let delta = (i64::from(target) - i64::from(inst_addr) - 4) / 4;
@@ -389,9 +395,8 @@ fn spacing_bound(
         |bi: usize| cfg.blocks[bi].len as u64 + if selected.contains(&bi) { sig } else { 0 };
 
     // Nodes: unguarded blocks of protected functions.
-    let in_graph = |bi: usize| {
-        protected_funcs.contains(&cfg.blocks[bi].func) && !selected.contains(&bi)
-    };
+    let in_graph =
+        |bi: usize| protected_funcs.contains(&cfg.blocks[bi].func) && !selected.contains(&bi);
     let nodes: Vec<usize> = (0..cfg.blocks.len()).filter(|&b| in_graph(b)).collect();
     let mut indegree: BTreeMap<usize, usize> = nodes.iter().map(|&n| (n, 0)).collect();
     for &n in &nodes {
@@ -402,11 +407,7 @@ fn spacing_bound(
         }
     }
     // Kahn's algorithm with longest-path DP.
-    let mut ready: Vec<usize> = nodes
-        .iter()
-        .copied()
-        .filter(|n| indegree[n] == 0)
-        .collect();
+    let mut ready: Vec<usize> = nodes.iter().copied().filter(|n| indegree[n] == 0).collect();
     let mut longest: BTreeMap<usize, u64> = nodes.iter().map(|&n| (n, weight(n))).collect();
     let mut processed = 0usize;
     let mut best = 0u64;

@@ -108,12 +108,7 @@ struct Upgrade {
 /// Functions without symbol names are skipped (a plan is expressed by
 /// name). The returned plan's `est_extra_cycles` respects
 /// `budget_fraction × profile.cycles`.
-pub fn optimize(
-    image: &Image,
-    cfg: &Cfg,
-    profile: &Profile,
-    config: &OptimizerConfig,
-) -> Plan {
+pub fn optimize(image: &Image, cfg: &Cfg, profile: &Profile, config: &OptimizerConfig) -> Plan {
     let budget = (profile.cycles as f64 * config.budget_fraction) as u64;
     let mut plan = Plan::default();
     let mut spent = 0u64;
@@ -139,7 +134,7 @@ pub fn optimize(
             .iter()
             .map(|&density| {
                 let selected: BTreeSet<usize> = place::select_in(
-                    &cfg,
+                    cfg,
                     image,
                     &func.blocks,
                     density,
@@ -180,13 +175,12 @@ pub fn optimize(
                 let prev_cost = cur.map_or(0, |i| info.guard_cost[i]);
                 let prev_density = cur.map_or(0.0, |i| config.density_levels[i]);
                 let cost = info.guard_cost[next].saturating_sub(prev_cost);
-                let value =
-                    (config.density_levels[next] - prev_density) * info.instrs as f64;
+                let value = (config.density_levels[next] - prev_density) * info.instrs as f64;
                 if spent + cost <= budget {
                     let ratio = value / (cost.max(1)) as f64;
                     if best
                         .as_ref()
-                        .map_or(true, |b| ratio > b.value / (b.cost.max(1)) as f64)
+                        .is_none_or(|b| ratio > b.value / (b.cost.max(1)) as f64)
                     {
                         best = Some(Upgrade {
                             function: info.name.clone(),
@@ -204,7 +198,7 @@ pub fn optimize(
                     let ratio = value / (cost.max(1)) as f64;
                     if best
                         .as_ref()
-                        .map_or(true, |b| ratio > b.value / (b.cost.max(1)) as f64)
+                        .is_none_or(|b| ratio > b.value / (b.cost.max(1)) as f64)
                     {
                         best = Some(Upgrade {
                             function: info.name.clone(),
@@ -299,9 +293,10 @@ cold:   li   $t1, 1
         };
         let plan = optimize(&image, &cfg, &profile, &config);
         for name in ["main", "hot", "cold"] {
-            let fp = plan.functions.get(name).unwrap_or_else(|| {
-                panic!("function {name} missing from plan {plan:?}")
-            });
+            let fp = plan
+                .functions
+                .get(name)
+                .unwrap_or_else(|| panic!("function {name} missing from plan {plan:?}"));
             assert_eq!(fp.guard_density, 1.0, "{name}");
             assert!(fp.encrypt, "{name}");
         }

@@ -115,8 +115,7 @@ impl ProtectReport {
         if self.text_words_before == 0 {
             0.0
         } else {
-            (self.text_words_after - self.text_words_before) as f64
-                / self.text_words_before as f64
+            (self.text_words_after - self.text_words_before) as f64 / self.text_words_before as f64
         }
     }
 }
@@ -216,11 +215,28 @@ pub fn protect(
         encrypted_regions,
         spacing_bound: secmon.spacing_bound,
     };
-    Ok(Protected {
+    let protected = Protected {
         image: current,
         secmon,
         report,
-    })
+    };
+
+    // N-version self-check: the independent verifier must be able to prove
+    // every invariant this pipeline claims to have established. Refusing to
+    // ship an unprovable image turns silent rewriting bugs into build
+    // failures.
+    let verdict = flexprot_verify::verify(&protected.image, &protected.secmon);
+    if !verdict.is_clean() {
+        let errors = verdict.count(flexprot_verify::Severity::Error);
+        let first = verdict
+            .findings
+            .iter()
+            .find(|f| f.severity == flexprot_verify::Severity::Error)
+            .map(|f| f.to_string())
+            .unwrap_or_default();
+        return Err(ProtectError::VerificationFailed { errors, first });
+    }
+    Ok(protected)
 }
 
 #[cfg(test)]
@@ -284,8 +300,7 @@ fold:   mul  $t1, $t0, $t0
     #[test]
     fn encryption_only_pipeline() {
         let (image, base) = baseline();
-        let config =
-            ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xFACE));
+        let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xFACE));
         let protected = protect(&image, &config, None).unwrap();
         assert_eq!(protected.report.guards_inserted, 0);
         assert_eq!(protected.report.encrypted_regions, 1);

@@ -61,11 +61,7 @@ pub fn capacity_bits(config: &SecMonConfig) -> u32 {
 /// # Errors
 ///
 /// Fails when the payload exceeds [`capacity_bits`].
-pub fn embed(
-    image: &mut Image,
-    config: &SecMonConfig,
-    payload: &[u8],
-) -> Result<(), ProtectError> {
+pub fn embed(image: &mut Image, config: &SecMonConfig, payload: &[u8]) -> Result<(), ProtectError> {
     let needed = payload.len() as u32 * 8;
     let capacity = capacity_bits(config);
     if needed > capacity {

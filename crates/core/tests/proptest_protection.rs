@@ -1,12 +1,13 @@
 //! Property tests for the protection passes: **semantic preservation under
 //! arbitrary configurations** — the invariant everything else rests on.
+//! Driven by the in-repo deterministic PRNG.
 
 use flexprot_core::{
     protect, EncryptConfig, Granularity, GuardConfig, Placement, ProtectionConfig, Selection,
 };
+use flexprot_isa::Rng64;
 use flexprot_secmon::DecryptModel;
 use flexprot_sim::{Machine, Outcome, SimConfig};
-use proptest::prelude::*;
 
 const PROGRAM: &str = r#"
         .data
@@ -53,106 +54,109 @@ fn baseline() -> (flexprot_isa::Image, String) {
     (image, r.output)
 }
 
-fn arb_placement() -> impl Strategy<Value = Placement> {
-    prop_oneof![
-        Just(Placement::Uniform),
-        Just(Placement::Random),
-        Just(Placement::ColdestFirst),
-        Just(Placement::LoopHeaders),
-    ]
+fn arb_placement(rng: &mut Rng64) -> Placement {
+    match rng.below(4) {
+        0 => Placement::Uniform,
+        1 => Placement::Random,
+        2 => Placement::ColdestFirst,
+        _ => Placement::LoopHeaders,
+    }
 }
 
-fn arb_granularity() -> impl Strategy<Value = Granularity> {
-    prop_oneof![
-        Just(Granularity::Program),
-        Just(Granularity::Function),
-        Just(Granularity::Block),
-    ]
+fn arb_granularity(rng: &mut Rng64) -> Granularity {
+    match rng.below(3) {
+        0 => Granularity::Program,
+        1 => Granularity::Function,
+        _ => Granularity::Block,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Guards at any density/placement/seed/key preserve program output,
-    /// and the monitor never false-positives on an untampered binary.
-    #[test]
-    fn guards_preserve_semantics(
-        density in 0.0f64..=1.0,
-        placement in arb_placement(),
-        seed in any::<u64>(),
-        key in any::<u64>(),
-        enforce_spacing in any::<bool>(),
-    ) {
-        let (image, expected) = baseline();
+/// Guards at any density/placement/seed/key preserve program output,
+/// and the monitor never false-positives on an untampered binary.
+#[test]
+fn guards_preserve_semantics() {
+    let (image, expected) = baseline();
+    let mut rng = Rng64::new(0xC02E_0001);
+    for _ in 0..48 {
         let config = ProtectionConfig::new().with_guards(GuardConfig {
-            key,
-            seed,
-            placement,
-            selection: Selection::Density(density),
-            enforce_spacing,
+            key: rng.next_u64(),
+            seed: rng.next_u64(),
+            placement: arb_placement(&mut rng),
+            selection: Selection::Density(rng.next_f64()),
+            enforce_spacing: rng.chance(0.5),
         });
         let protected = protect(&image, &config, None).expect("protect");
         let r = protected.run(SimConfig::default());
-        prop_assert_eq!(&r.outcome, &Outcome::Exit(0), "{:?}", r.outcome);
-        prop_assert_eq!(r.output, expected);
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, expected);
     }
+}
 
-    /// Encryption at any granularity/key/latency model round-trips through
-    /// the fetch path.
-    #[test]
-    fn encryption_preserves_semantics(
-        master_key in any::<u64>(),
-        granularity in arb_granularity(),
-        cycles_per_word in 0u64..16,
-        startup in 0u64..16,
-        pipelined in any::<bool>(),
-    ) {
-        let (image, expected) = baseline();
+/// Encryption at any granularity/key/latency model round-trips through
+/// the fetch path.
+#[test]
+fn encryption_preserves_semantics() {
+    let (image, expected) = baseline();
+    let mut rng = Rng64::new(0xC02E_0002);
+    for _ in 0..48 {
         let config = ProtectionConfig::new().with_encryption(EncryptConfig {
-            master_key,
-            granularity,
-            model: DecryptModel { cycles_per_word, startup, pipelined },
+            master_key: rng.next_u64(),
+            granularity: arb_granularity(&mut rng),
+            model: DecryptModel {
+                cycles_per_word: rng.below(16),
+                startup: rng.below(16),
+                pipelined: rng.chance(0.5),
+            },
             scope: None,
         });
         let protected = protect(&image, &config, None).expect("protect");
         let r = protected.run(SimConfig::default());
-        prop_assert_eq!(&r.outcome, &Outcome::Exit(0), "{:?}", r.outcome);
-        prop_assert_eq!(r.output, expected);
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, expected);
     }
+}
 
-    /// Both layers combined preserve semantics, and cycles never decrease
-    /// relative to baseline.
-    #[test]
-    fn combined_layers_preserve_semantics(
-        density in 0.0f64..=1.0,
-        key in any::<u64>(),
-        granularity in arb_granularity(),
-    ) {
-        let (image, expected) = baseline();
-        let base_cycles = Machine::new(&image, SimConfig::default()).run().stats.cycles;
+/// Both layers combined preserve semantics, and cycles never decrease
+/// relative to baseline.
+#[test]
+fn combined_layers_preserve_semantics() {
+    let (image, expected) = baseline();
+    let base_cycles = Machine::new(&image, SimConfig::default())
+        .run()
+        .stats
+        .cycles;
+    let mut rng = Rng64::new(0xC02E_0003);
+    for _ in 0..48 {
+        let key = rng.next_u64();
         let config = ProtectionConfig::new()
-            .with_guards(GuardConfig { key, ..GuardConfig::with_density(density) })
+            .with_guards(GuardConfig {
+                key,
+                ..GuardConfig::with_density(rng.next_f64())
+            })
             .with_encryption(EncryptConfig {
-                granularity,
+                granularity: arb_granularity(&mut rng),
                 ..EncryptConfig::whole_program(key.rotate_left(17))
             });
         let protected = protect(&image, &config, None).expect("protect");
         let r = protected.run(SimConfig::default());
-        prop_assert_eq!(&r.outcome, &Outcome::Exit(0), "{:?}", r.outcome);
-        prop_assert_eq!(r.output, expected);
-        prop_assert!(r.stats.cycles >= base_cycles);
+        assert_eq!(r.outcome, Outcome::Exit(0));
+        assert_eq!(r.output, expected);
+        assert!(r.stats.cycles >= base_cycles);
     }
+}
 
-    /// Static size overhead is exactly `guards * SIG_SYMBOLS` words.
-    #[test]
-    fn size_overhead_is_exact(density in 0.0f64..=1.0, seed in any::<u64>()) {
-        let (image, _) = baseline();
+/// Static size overhead is exactly `guards * SIG_SYMBOLS` words.
+#[test]
+fn size_overhead_is_exact() {
+    let (image, _) = baseline();
+    let mut rng = Rng64::new(0xC02E_0004);
+    for _ in 0..48 {
         let config = ProtectionConfig::new().with_guards(GuardConfig {
-            seed,
-            ..GuardConfig::with_density(density)
+            seed: rng.next_u64(),
+            ..GuardConfig::with_density(rng.next_f64())
         });
         let protected = protect(&image, &config, None).expect("protect");
-        prop_assert_eq!(
+        assert_eq!(
             protected.image.text.len(),
             image.text.len()
                 + protected.report.guards_inserted * flexprot_secmon::SIG_SYMBOLS as usize

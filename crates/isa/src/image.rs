@@ -137,7 +137,7 @@ impl Image {
     ///
     /// Returns `None` when the address is unaligned or out of range.
     pub fn text_index_of(&self, addr: u32) -> Option<usize> {
-        if !self.contains_text_addr(addr) || addr % WORD_BYTES != 0 {
+        if !self.contains_text_addr(addr) || !addr.is_multiple_of(WORD_BYTES) {
             return None;
         }
         Some(((addr - self.text_base) / WORD_BYTES) as usize)
@@ -180,7 +180,10 @@ impl Image {
                 Ok(inst) => out.push_str(&format!("    {inst:<40} # {addr:#010x}\n")),
                 Err(_) => {
                     let word = self.text[self.text_index_of(addr).expect("in range")];
-                    out.push_str(&format!("    .word {word:#010x}{:<21} # {addr:#010x}\n", ""))
+                    out.push_str(&format!(
+                        "    .word {word:#010x}{:<21} # {addr:#010x}\n",
+                        ""
+                    ))
                 }
             }
         }

@@ -484,7 +484,9 @@ impl Inst {
     /// Whether this instruction may redirect control flow (branch, jump, or
     /// `syscall`, which can terminate the program).
     pub fn is_control_transfer(self) -> bool {
-        self.is_branch() || self.is_direct_jump() || self.is_indirect_jump()
+        self.is_branch()
+            || self.is_direct_jump()
+            || self.is_indirect_jump()
             || matches!(self, Inst::Syscall | Inst::Break)
     }
 
@@ -524,7 +526,11 @@ impl Inst {
     pub fn is_load(self) -> bool {
         matches!(
             self,
-            Inst::Lb { .. } | Inst::Lh { .. } | Inst::Lw { .. } | Inst::Lbu { .. } | Inst::Lhu { .. }
+            Inst::Lb { .. }
+                | Inst::Lh { .. }
+                | Inst::Lw { .. }
+                | Inst::Lbu { .. }
+                | Inst::Lhu { .. }
         )
     }
 
@@ -540,14 +546,38 @@ impl Inst {
     pub fn def(self) -> Option<Reg> {
         use Inst::*;
         match self {
-            Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Sllv { rd, .. } | Srlv { rd, .. }
-            | Srav { rd, .. } | Jalr { rd, .. } | Mul { rd, .. } | Div { rd, .. }
-            | Rem { rd, .. } | Add { rd, .. } | Addu { rd, .. } | Sub { rd, .. }
-            | Subu { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. } | Nor { rd, .. }
-            | Slt { rd, .. } | Sltu { rd, .. } => Some(rd),
-            Addi { rt, .. } | Slti { rt, .. } | Sltiu { rt, .. } | Andi { rt, .. }
-            | Ori { rt, .. } | Xori { rt, .. } | Lui { rt, .. } | Lb { rt, .. } | Lh { rt, .. }
-            | Lw { rt, .. } | Lbu { rt, .. } | Lhu { rt, .. } => Some(rt),
+            Sll { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Sllv { rd, .. }
+            | Srlv { rd, .. }
+            | Srav { rd, .. }
+            | Jalr { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Rem { rd, .. }
+            | Add { rd, .. }
+            | Addu { rd, .. }
+            | Sub { rd, .. }
+            | Subu { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Nor { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. } => Some(rd),
+            Addi { rt, .. }
+            | Slti { rt, .. }
+            | Sltiu { rt, .. }
+            | Andi { rt, .. }
+            | Ori { rt, .. }
+            | Xori { rt, .. }
+            | Lui { rt, .. }
+            | Lb { rt, .. }
+            | Lh { rt, .. }
+            | Lw { rt, .. }
+            | Lbu { rt, .. }
+            | Lhu { rt, .. } => Some(rt),
             Jal { .. } => Some(Reg::RA),
             _ => None,
         }
@@ -558,19 +588,33 @@ impl Inst {
         use Inst::*;
         match self {
             Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => [Some(rt), None],
-            Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => {
-                [Some(rt), Some(rs)]
-            }
+            Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => [Some(rt), Some(rs)],
             Jr { rs } | Jalr { rs, .. } => [Some(rs), None],
             Syscall => [Some(Reg::V0), Some(Reg::A0)],
             Break | Lui { .. } | J { .. } | Jal { .. } => [None, None],
-            Mul { rs, rt, .. } | Div { rs, rt, .. } | Rem { rs, rt, .. } | Add { rs, rt, .. }
-            | Addu { rs, rt, .. } | Sub { rs, rt, .. } | Subu { rs, rt, .. }
-            | And { rs, rt, .. } | Or { rs, rt, .. } | Xor { rs, rt, .. } | Nor { rs, rt, .. }
-            | Slt { rs, rt, .. } | Sltu { rs, rt, .. } => [Some(rs), Some(rt)],
-            Addi { rs, .. } | Slti { rs, .. } | Sltiu { rs, .. } | Andi { rs, .. }
-            | Ori { rs, .. } | Xori { rs, .. } => [Some(rs), None],
-            Lb { base, .. } | Lh { base, .. } | Lw { base, .. } | Lbu { base, .. }
+            Mul { rs, rt, .. }
+            | Div { rs, rt, .. }
+            | Rem { rs, rt, .. }
+            | Add { rs, rt, .. }
+            | Addu { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | Subu { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Nor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Sltu { rs, rt, .. } => [Some(rs), Some(rt)],
+            Addi { rs, .. }
+            | Slti { rs, .. }
+            | Sltiu { rs, .. }
+            | Andi { rs, .. }
+            | Ori { rs, .. }
+            | Xori { rs, .. } => [Some(rs), None],
+            Lb { base, .. }
+            | Lh { base, .. }
+            | Lw { base, .. }
+            | Lbu { base, .. }
             | Lhu { base, .. } => [Some(base), None],
             Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. } => {
                 [Some(base), Some(rt)]
@@ -651,10 +695,19 @@ impl fmt::Display for Inst {
             Jr { rs } => write!(f, "{m} {rs}"),
             Jalr { rd, rs } => write!(f, "{m} {rd}, {rs}"),
             Syscall | Break => write!(f, "{m}"),
-            Mul { rd, rs, rt } | Div { rd, rs, rt } | Rem { rd, rs, rt } | Add { rd, rs, rt }
-            | Addu { rd, rs, rt } | Sub { rd, rs, rt } | Subu { rd, rs, rt }
-            | And { rd, rs, rt } | Or { rd, rs, rt } | Xor { rd, rs, rt } | Nor { rd, rs, rt }
-            | Slt { rd, rs, rt } | Sltu { rd, rs, rt } => write!(f, "{m} {rd}, {rs}, {rt}"),
+            Mul { rd, rs, rt }
+            | Div { rd, rs, rt }
+            | Rem { rd, rs, rt }
+            | Add { rd, rs, rt }
+            | Addu { rd, rs, rt }
+            | Sub { rd, rs, rt }
+            | Subu { rd, rs, rt }
+            | And { rd, rs, rt }
+            | Or { rd, rs, rt }
+            | Xor { rd, rs, rt }
+            | Nor { rd, rs, rt }
+            | Slt { rd, rs, rt }
+            | Sltu { rd, rs, rt } => write!(f, "{m} {rd}, {rs}, {rt}"),
             Addi { rt, rs, imm } | Slti { rt, rs, imm } | Sltiu { rt, rs, imm } => {
                 write!(f, "{m} {rt}, {rs}, {imm}")
             }
@@ -662,9 +715,14 @@ impl fmt::Display for Inst {
                 write!(f, "{m} {rt}, {rs}, {imm}")
             }
             Lui { rt, imm } => write!(f, "{m} {rt}, {imm}"),
-            Lb { rt, off, base } | Lh { rt, off, base } | Lw { rt, off, base }
-            | Lbu { rt, off, base } | Lhu { rt, off, base } | Sb { rt, off, base }
-            | Sh { rt, off, base } | Sw { rt, off, base } => {
+            Lb { rt, off, base }
+            | Lh { rt, off, base }
+            | Lw { rt, off, base }
+            | Lbu { rt, off, base }
+            | Lhu { rt, off, base }
+            | Sb { rt, off, base }
+            | Sh { rt, off, base }
+            | Sw { rt, off, base } => {
                 write!(f, "{m} {rt}, {off}({base})")
             }
             Beq { rs, rt, off } | Bne { rs, rt, off } => write!(f, "{m} {rs}, {rt}, {off}"),
@@ -684,46 +742,186 @@ mod tests {
         use Inst::*;
         let (a, b, c) = (Reg::T0, Reg::S1, Reg::A2);
         vec![
-            Sll { rd: a, rt: b, sh: 7 },
-            Srl { rd: a, rt: b, sh: 31 },
-            Sra { rd: a, rt: b, sh: 1 },
-            Sllv { rd: a, rt: b, rs: c },
-            Srlv { rd: a, rt: b, rs: c },
-            Srav { rd: a, rt: b, rs: c },
+            Sll {
+                rd: a,
+                rt: b,
+                sh: 7,
+            },
+            Srl {
+                rd: a,
+                rt: b,
+                sh: 31,
+            },
+            Sra {
+                rd: a,
+                rt: b,
+                sh: 1,
+            },
+            Sllv {
+                rd: a,
+                rt: b,
+                rs: c,
+            },
+            Srlv {
+                rd: a,
+                rt: b,
+                rs: c,
+            },
+            Srav {
+                rd: a,
+                rt: b,
+                rs: c,
+            },
             Jr { rs: Reg::RA },
             Jalr { rd: Reg::RA, rs: a },
             Syscall,
             Break,
-            Mul { rd: a, rs: b, rt: c },
-            Div { rd: a, rs: b, rt: c },
-            Rem { rd: a, rs: b, rt: c },
-            Add { rd: a, rs: b, rt: c },
-            Addu { rd: a, rs: b, rt: c },
-            Sub { rd: a, rs: b, rt: c },
-            Subu { rd: a, rs: b, rt: c },
-            And { rd: a, rs: b, rt: c },
-            Or { rd: a, rs: b, rt: c },
-            Xor { rd: a, rs: b, rt: c },
-            Nor { rd: a, rs: b, rt: c },
-            Slt { rd: a, rs: b, rt: c },
-            Sltu { rd: a, rs: b, rt: c },
-            Addi { rt: a, rs: b, imm: -3 },
-            Slti { rt: a, rs: b, imm: 100 },
-            Sltiu { rt: a, rs: b, imm: -1 },
-            Andi { rt: a, rs: b, imm: 0xFFFF },
-            Ori { rt: a, rs: b, imm: 0x8000 },
-            Xori { rt: a, rs: b, imm: 1 },
+            Mul {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Div {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Rem {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Add {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Addu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Sub {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Subu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            And {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Or {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Xor {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Nor {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Slt {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Sltu {
+                rd: a,
+                rs: b,
+                rt: c,
+            },
+            Addi {
+                rt: a,
+                rs: b,
+                imm: -3,
+            },
+            Slti {
+                rt: a,
+                rs: b,
+                imm: 100,
+            },
+            Sltiu {
+                rt: a,
+                rs: b,
+                imm: -1,
+            },
+            Andi {
+                rt: a,
+                rs: b,
+                imm: 0xFFFF,
+            },
+            Ori {
+                rt: a,
+                rs: b,
+                imm: 0x8000,
+            },
+            Xori {
+                rt: a,
+                rs: b,
+                imm: 1,
+            },
             Lui { rt: a, imm: 0x1001 },
-            Lb { rt: a, off: -4, base: b },
-            Lh { rt: a, off: 2, base: b },
-            Lw { rt: a, off: 0, base: Reg::SP },
-            Lbu { rt: a, off: 1, base: b },
-            Lhu { rt: a, off: 6, base: b },
-            Sb { rt: a, off: -1, base: b },
-            Sh { rt: a, off: 8, base: b },
-            Sw { rt: a, off: 4, base: Reg::SP },
-            Beq { rs: a, rt: b, off: -2 },
-            Bne { rs: a, rt: b, off: 5 },
+            Lb {
+                rt: a,
+                off: -4,
+                base: b,
+            },
+            Lh {
+                rt: a,
+                off: 2,
+                base: b,
+            },
+            Lw {
+                rt: a,
+                off: 0,
+                base: Reg::SP,
+            },
+            Lbu {
+                rt: a,
+                off: 1,
+                base: b,
+            },
+            Lhu {
+                rt: a,
+                off: 6,
+                base: b,
+            },
+            Sb {
+                rt: a,
+                off: -1,
+                base: b,
+            },
+            Sh {
+                rt: a,
+                off: 8,
+                base: b,
+            },
+            Sw {
+                rt: a,
+                off: 4,
+                base: Reg::SP,
+            },
+            Beq {
+                rs: a,
+                rt: b,
+                off: -2,
+            },
+            Bne {
+                rs: a,
+                rt: b,
+                off: 5,
+            },
             Blez { rs: a, off: 3 },
             Bgtz { rs: a, off: -8 },
             Bltz { rs: a, off: 12 },

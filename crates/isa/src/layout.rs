@@ -21,7 +21,7 @@ mod tests {
         assert_eq!(TEXT_BASE % WORD_BYTES, 0);
         assert_eq!(DATA_BASE % WORD_BYTES, 0);
         assert_eq!(STACK_TOP % WORD_BYTES, 0);
-        assert!(TEXT_BASE < DATA_BASE);
-        assert!(DATA_BASE < STACK_TOP);
+        const { assert!(TEXT_BASE < DATA_BASE) };
+        const { assert!(DATA_BASE < STACK_TOP) };
     }
 }

@@ -38,10 +38,12 @@ pub mod image;
 pub mod inst;
 pub mod layout;
 pub mod reg;
+pub mod rng;
 pub mod serialize;
 
 pub use image::{Image, Reloc, RelocKind, Segment};
 pub use inst::{DecodeError, Inst};
 pub use layout::{DATA_BASE, STACK_TOP, TEXT_BASE, WORD_BYTES};
 pub use reg::Reg;
+pub use rng::Rng64;
 pub use serialize::ImageFormatError;

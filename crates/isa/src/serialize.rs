@@ -70,7 +70,9 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, ImageFormatError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// A count that must plausibly fit in the remaining bytes, with each

@@ -1,105 +1,290 @@
-//! Property tests for the instruction codec.
+//! Property tests for the instruction codec, driven by the in-repo
+//! deterministic PRNG (no external dependencies, reproducible by seed).
 
-use flexprot_isa::{Inst, Reg};
-use proptest::prelude::*;
+use flexprot_isa::{Inst, Reg, Rng64};
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::from_index(i).expect("in range"))
+fn reg(rng: &mut Rng64) -> Reg {
+    Reg::from_index(rng.below(32) as u8).expect("in range")
 }
 
-/// Strategy over every instruction form.
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    let r = arb_reg;
-    prop_oneof![
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Sll { rd, rt, sh }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Srl { rd, rt, sh }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Sra { rd, rt, sh }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Sllv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srlv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srav { rd, rt, rs }),
-        r().prop_map(|rs| Inst::Jr { rs }),
-        (r(), r()).prop_map(|(rd, rs)| Inst::Jalr { rd, rs }),
-        Just(Inst::Syscall),
-        Just(Inst::Break),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Mul { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Div { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Rem { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Add { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sub { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Subu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::And { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Or { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Xor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Slt { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sltu { rd, rs, rt }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Slti { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Sltiu { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Andi { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Ori { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
-        (r(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lb { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lh { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lw { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lbu { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Lhu { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sb { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sh { rt, off, base }),
-        (r(), any::<i16>(), r()).prop_map(|(rt, off, base)| Inst::Sw { rt, off, base }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Beq { rs, rt, off }),
-        (r(), r(), any::<i16>()).prop_map(|(rs, rt, off)| Inst::Bne { rs, rt, off }),
-        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Blez { rs, off }),
-        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bgtz { rs, off }),
-        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bltz { rs, off }),
-        (r(), any::<i16>()).prop_map(|(rs, off)| Inst::Bgez { rs, off }),
-        (0u32..(1 << 26)).prop_map(|target| Inst::J { target }),
-        (0u32..(1 << 26)).prop_map(|target| Inst::Jal { target }),
-    ]
-}
-
-proptest! {
-    /// Every constructible instruction survives encode→decode.
-    #[test]
-    fn encode_decode_round_trip(inst in arb_inst()) {
-        let word = inst.encode();
-        prop_assert_eq!(Inst::decode(word), Ok(inst));
+/// Samples uniformly over every instruction form.
+fn arb_inst(rng: &mut Rng64) -> Inst {
+    let sh = |rng: &mut Rng64| rng.below(32) as u8;
+    let u16 = |rng: &mut Rng64| rng.next_u32() as u16;
+    let target = |rng: &mut Rng64| rng.below(1 << 26) as u32;
+    match rng.below(46) {
+        0 => Inst::Sll {
+            rd: reg(rng),
+            rt: reg(rng),
+            sh: sh(rng),
+        },
+        1 => Inst::Srl {
+            rd: reg(rng),
+            rt: reg(rng),
+            sh: sh(rng),
+        },
+        2 => Inst::Sra {
+            rd: reg(rng),
+            rt: reg(rng),
+            sh: sh(rng),
+        },
+        3 => Inst::Sllv {
+            rd: reg(rng),
+            rt: reg(rng),
+            rs: reg(rng),
+        },
+        4 => Inst::Srlv {
+            rd: reg(rng),
+            rt: reg(rng),
+            rs: reg(rng),
+        },
+        5 => Inst::Srav {
+            rd: reg(rng),
+            rt: reg(rng),
+            rs: reg(rng),
+        },
+        6 => Inst::Jr { rs: reg(rng) },
+        7 => Inst::Jalr {
+            rd: reg(rng),
+            rs: reg(rng),
+        },
+        8 => Inst::Syscall,
+        9 => Inst::Break,
+        10 => Inst::Mul {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        11 => Inst::Div {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        12 => Inst::Rem {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        13 => Inst::Add {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        14 => Inst::Addu {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        15 => Inst::Sub {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        16 => Inst::Subu {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        17 => Inst::And {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        18 => Inst::Or {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        19 => Inst::Xor {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        20 => Inst::Nor {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        21 => Inst::Slt {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        22 => Inst::Sltu {
+            rd: reg(rng),
+            rs: reg(rng),
+            rt: reg(rng),
+        },
+        23 => Inst::Addi {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: rng.next_i16(),
+        },
+        24 => Inst::Slti {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: rng.next_i16(),
+        },
+        25 => Inst::Sltiu {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: rng.next_i16(),
+        },
+        26 => Inst::Andi {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: u16(rng),
+        },
+        27 => Inst::Ori {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: u16(rng),
+        },
+        28 => Inst::Xori {
+            rt: reg(rng),
+            rs: reg(rng),
+            imm: u16(rng),
+        },
+        29 => Inst::Lui {
+            rt: reg(rng),
+            imm: u16(rng),
+        },
+        30 => Inst::Lb {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        31 => Inst::Lh {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        32 => Inst::Lw {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        33 => Inst::Lbu {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        34 => Inst::Lhu {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        35 => Inst::Sb {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        36 => Inst::Sh {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        37 => Inst::Sw {
+            rt: reg(rng),
+            off: rng.next_i16(),
+            base: reg(rng),
+        },
+        38 => Inst::Beq {
+            rs: reg(rng),
+            rt: reg(rng),
+            off: rng.next_i16(),
+        },
+        39 => Inst::Bne {
+            rs: reg(rng),
+            rt: reg(rng),
+            off: rng.next_i16(),
+        },
+        40 => Inst::Blez {
+            rs: reg(rng),
+            off: rng.next_i16(),
+        },
+        41 => Inst::Bgtz {
+            rs: reg(rng),
+            off: rng.next_i16(),
+        },
+        42 => Inst::Bltz {
+            rs: reg(rng),
+            off: rng.next_i16(),
+        },
+        43 => Inst::Bgez {
+            rs: reg(rng),
+            off: rng.next_i16(),
+        },
+        44 => Inst::J {
+            target: target(rng),
+        },
+        _ => Inst::Jal {
+            target: target(rng),
+        },
     }
+}
 
-    /// The decoder accepts exactly the image of the encoder: any decodable
-    /// word re-encodes to itself.
-    #[test]
-    fn decoder_is_exact(word in any::<u32>()) {
+/// Every constructible instruction survives encode→decode.
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = Rng64::new(0xE2C0_DE01);
+    for _ in 0..4000 {
+        let inst = arb_inst(&mut rng);
+        let word = inst.encode();
+        assert_eq!(Inst::decode(word), Ok(inst), "word {word:#010x}");
+    }
+}
+
+/// The decoder accepts exactly the image of the encoder: any decodable
+/// word re-encodes to itself.
+#[test]
+fn decoder_is_exact() {
+    let mut rng = Rng64::new(0xE2C0_DE02);
+    for _ in 0..40_000 {
+        let word = rng.next_u32();
         if let Ok(inst) = Inst::decode(word) {
-            prop_assert_eq!(inst.encode(), word);
+            assert_eq!(inst.encode(), word, "{inst}");
         }
     }
+}
 
-    /// Branch-target arithmetic inverts offset encoding.
-    #[test]
-    fn branch_target_round_trip(off in any::<i16>(), pc_words in 0u32..(1 << 20)) {
-        let pc = 0x0040_0000 + pc_words * 4;
-        let inst = Inst::Beq { rs: Reg::T0, rt: Reg::T1, off };
+/// Branch-target arithmetic inverts offset encoding.
+#[test]
+fn branch_target_round_trip() {
+    let mut rng = Rng64::new(0xE2C0_DE03);
+    for _ in 0..4000 {
+        let off = rng.next_i16();
+        let pc = 0x0040_0000 + rng.below(1 << 20) as u32 * 4;
+        let inst = Inst::Beq {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            off,
+        };
         let target = inst.branch_target(pc).expect("branch");
         let recovered = (i64::from(target) - i64::from(pc) - 4) / 4;
-        prop_assert_eq!(recovered, i64::from(off));
+        assert_eq!(recovered, i64::from(off));
     }
+}
 
-    /// `def`/`uses` never return out-of-range registers and stay stable
-    /// across an encode/decode cycle.
-    #[test]
-    fn def_uses_stable(inst in arb_inst()) {
+/// `def`/`uses` never return out-of-range registers and stay stable
+/// across an encode/decode cycle.
+#[test]
+fn def_uses_stable() {
+    let mut rng = Rng64::new(0xE2C0_DE04);
+    for _ in 0..4000 {
+        let inst = arb_inst(&mut rng);
         let decoded = Inst::decode(inst.encode()).expect("round trip");
-        prop_assert_eq!(decoded.def(), inst.def());
-        prop_assert_eq!(decoded.uses(), inst.uses());
+        assert_eq!(decoded.def(), inst.def());
+        assert_eq!(decoded.uses(), inst.uses());
     }
+}
 
-    /// Display output is non-empty and starts with the mnemonic.
-    #[test]
-    fn display_leads_with_mnemonic(inst in arb_inst()) {
-        let text = inst.to_string();
-        prop_assert!(text.starts_with(inst.mnemonic()));
+/// Display output is non-empty and starts with the mnemonic.
+#[test]
+fn display_leads_with_mnemonic() {
+    let mut rng = Rng64::new(0xE2C0_DE05);
+    for _ in 0..4000 {
+        let inst = arb_inst(&mut rng);
+        assert!(inst.to_string().starts_with(inst.mnemonic()));
     }
 }

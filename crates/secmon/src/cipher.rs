@@ -104,10 +104,7 @@ impl RegionTable {
         }
         for pair in regions.windows(2) {
             if pair[0].end > pair[1].start {
-                return Err(format!(
-                    "overlapping regions {} and {}",
-                    pair[0], pair[1]
-                ));
+                return Err(format!("overlapping regions {} and {}", pair[0], pair[1]));
             }
         }
         Ok(RegionTable { regions })

@@ -130,10 +130,7 @@ pub fn is_guard_form(word: u32) -> bool {
     let rd = (word >> 11) & 0x1F;
     let sh = (word >> 6) & 0x1F;
     let funct = word & 0x3F;
-    opcode == 0
-        && rd == 0
-        && sh == 0
-        && matches!(funct, 0x21 | 0x24 | 0x25 | 0x26 | 0x27 | 0x2B)
+    opcode == 0 && rd == 0 && sh == 0 && matches!(funct, 0x21 | 0x24 | 0x25 | 0x26 | 0x27 | 0x2B)
 }
 
 /// Splits a 32-bit signature into its [`SIG_SYMBOLS`] little-endian symbols.
@@ -246,7 +243,11 @@ mod tests {
         for i in 0..1000u32 {
             digests.insert(WindowHasher::hash_window(7, 0x400000, &[i, i ^ 0xFFFF]));
         }
-        assert!(digests.len() >= 998, "too many collisions: {}", digests.len());
+        assert!(
+            digests.len() >= 998,
+            "too many collisions: {}",
+            digests.len()
+        );
     }
 }
 
@@ -278,11 +279,21 @@ mod form_tests {
         assert!(!is_guard_form(Inst::NOP.encode()));
         assert!(!is_guard_form(Inst::Syscall.encode()));
         assert!(!is_guard_form(
-            Inst::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 1 }.encode()
+            Inst::Addi {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 1
+            }
+            .encode()
         ));
         // Same funct but writes a real register.
         assert!(!is_guard_form(
-            Inst::Addu { rd: Reg::AT, rs: Reg::T0, rt: Reg::T1 }.encode()
+            Inst::Addu {
+                rd: Reg::AT,
+                rs: Reg::T0,
+                rt: Reg::T1
+            }
+            .encode()
         ));
     }
 }

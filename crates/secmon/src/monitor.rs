@@ -113,12 +113,7 @@ impl SecMon {
     }
 
     /// Advances an in-progress guard collection by one committed word.
-    fn advance_collect(
-        &mut self,
-        mut col: Collect,
-        pc: u32,
-        word: u32,
-    ) -> Option<TamperEvent> {
+    fn advance_collect(&mut self, mut col: Collect, pc: u32, word: u32) -> Option<TamperEvent> {
         col.next_pc = pc.wrapping_add(4);
         if (col.symbols.len() as u32) < col.total {
             // Symbol phase: guard words carry the signature and are NOT
@@ -221,7 +216,7 @@ mod tests {
     use crate::schedule::{GuardSite, ProtectedRange};
     use std::collections::{BTreeMap, BTreeSet};
 
-    const KEY: u64 = 0x5EC0_0D5;
+    const KEY: u64 = 0x05EC_00D5;
     const BASE: u32 = 0x0040_0000;
 
     /// Builds (config, committed stream) for a window of `body` words
@@ -497,10 +492,7 @@ mod tail_tests {
     const BASE: u32 = 0x0040_0000;
 
     /// Window: 2 body words, 4 guard words, 1 tail (terminator) word.
-    fn tailed_stream(
-        body: &[u32],
-        terminator: u32,
-    ) -> (SecMonConfig, Vec<(u32, u32, bool)>) {
+    fn tailed_stream(body: &[u32], terminator: u32) -> (SecMonConfig, Vec<(u32, u32, bool)>) {
         let site = BASE + 4 * body.len() as u32;
         let term_addr = site + 4 * 4;
         let mut hasher = WindowHasher::new(KEY);
@@ -514,11 +506,21 @@ mod tail_tests {
             stream.push((BASE + 4 * i as u32, w, i != 0));
         }
         for (i, sym) in signature_symbols(digest).into_iter().enumerate() {
-            stream.push((site + 4 * i as u32, encode_guard_inst(sym, i as u8).encode(), true));
+            stream.push((
+                site + 4 * i as u32,
+                encode_guard_inst(sym, i as u8).encode(),
+                true,
+            ));
         }
         stream.push((term_addr, terminator, true));
         let mut sites = BTreeMap::new();
-        sites.insert(site, GuardSite { symbols: 4, tail: 1 });
+        sites.insert(
+            site,
+            GuardSite {
+                symbols: 4,
+                tail: 1,
+            },
+        );
         let mut window_starts = BTreeSet::new();
         window_starts.insert(BASE);
         let config = SecMonConfig {

@@ -177,8 +177,7 @@ impl SecMonConfig {
         if r.pos != bytes.len() {
             return Err(ConfigFormatError::TrailingBytes);
         }
-        let regions =
-            RegionTable::try_new(regions).map_err(|_| ConfigFormatError::BadRegions)?;
+        let regions = RegionTable::try_new(regions).map_err(|_| ConfigFormatError::BadRegions)?;
         Ok(SecMonConfig {
             guard_key,
             sites,
@@ -199,8 +198,20 @@ mod tests {
 
     fn sample() -> SecMonConfig {
         let mut sites = BTreeMap::new();
-        sites.insert(0x0040_0010, GuardSite { symbols: 4, tail: 1 });
-        sites.insert(0x0040_0080, GuardSite { symbols: 4, tail: 0 });
+        sites.insert(
+            0x0040_0010,
+            GuardSite {
+                symbols: 4,
+                tail: 1,
+            },
+        );
+        sites.insert(
+            0x0040_0080,
+            GuardSite {
+                symbols: 4,
+                tail: 0,
+            },
+        );
         let mut window_starts = BTreeSet::new();
         window_starts.insert(0x0040_0000);
         let mut reset_points = BTreeSet::new();

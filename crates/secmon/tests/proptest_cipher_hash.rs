@@ -1,29 +1,45 @@
-//! Property tests for the cipher, region table and window hash.
+//! Property tests for the cipher, region table and window hash, driven by
+//! the in-repo deterministic PRNG.
 
+use flexprot_isa::Rng64;
 use flexprot_secmon::{keystream, EncRegion, RegionTable, WindowHasher};
-use proptest::prelude::*;
 
-proptest! {
-    /// XOR keystream application is involutive at any address/key.
-    #[test]
-    fn apply_is_involutive(key in any::<u64>(), word in any::<u32>(), addr_words in 0u32..(1 << 24)) {
-        let addr = addr_words * 4;
-        let table = RegionTable::new(vec![EncRegion { start: 0, end: u32::MAX & !3, key }]);
-        prop_assert_eq!(table.apply(addr, table.apply(addr, word)), word);
+/// XOR keystream application is involutive at any address/key.
+#[test]
+fn apply_is_involutive() {
+    let mut rng = Rng64::new(0x5EC0_0001);
+    for _ in 0..1000 {
+        let key = rng.next_u64();
+        let word = rng.next_u32();
+        let addr = rng.below(1 << 24) as u32 * 4;
+        let table = RegionTable::new(vec![EncRegion {
+            start: 0,
+            end: !3,
+            key,
+        }]);
+        assert_eq!(table.apply(addr, table.apply(addr, word)), word);
     }
+}
 
-    /// Keystream is a pure function of (key, addr).
-    #[test]
-    fn keystream_deterministic(key in any::<u64>(), addr in any::<u32>()) {
-        prop_assert_eq!(keystream(key, addr), keystream(key, addr));
+/// Keystream is a pure function of (key, addr).
+#[test]
+fn keystream_deterministic() {
+    let mut rng = Rng64::new(0x5EC0_0002);
+    for _ in 0..1000 {
+        let key = rng.next_u64();
+        let addr = rng.next_u32();
+        assert_eq!(keystream(key, addr), keystream(key, addr));
     }
+}
 
-    /// Region lookup agrees with naive linear search.
-    #[test]
-    fn lookup_matches_linear_scan(
-        starts in prop::collection::btree_set(0u32..1000, 1..8),
-        probe in 0u32..4200,
-    ) {
+/// Region lookup agrees with naive linear search.
+#[test]
+fn lookup_matches_linear_scan() {
+    let mut rng = Rng64::new(0x5EC0_0003);
+    for _ in 0..500 {
+        let count = rng.range_inclusive(1, 7) as usize;
+        let starts: std::collections::BTreeSet<u32> =
+            (0..count).map(|_| rng.below(1000) as u32).collect();
         // Build disjoint 16-byte regions from sorted starts spaced 4x apart.
         let regions: Vec<EncRegion> = starts
             .iter()
@@ -35,49 +51,68 @@ proptest! {
             })
             .collect();
         let table = RegionTable::new(regions.clone());
-        let probe = probe * 4;
+        let probe = rng.below(4200) as u32 * 4;
         let linear = regions.iter().find(|r| r.contains(probe));
-        prop_assert_eq!(table.lookup(probe), linear);
+        assert_eq!(table.lookup(probe), linear);
     }
+}
 
-    /// Equal windows hash equal; any single word mutation changes the
-    /// digest (32-bit collision probability is negligible at this scale).
-    #[test]
-    fn hash_detects_mutation(
-        key in any::<u64>(),
-        words in prop::collection::vec(any::<u32>(), 1..32),
-        index in any::<prop::sample::Index>(),
-        flip in 1u32..=u32::MAX,
-    ) {
+/// Equal windows hash equal; any single word mutation changes the
+/// digest (32-bit collision probability is negligible at this scale).
+#[test]
+fn hash_detects_mutation() {
+    let mut rng = Rng64::new(0x5EC0_0004);
+    for _ in 0..1000 {
+        let key = rng.next_u64();
+        let len = rng.range_inclusive(1, 31) as usize;
+        let words: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
         let base = WindowHasher::hash_window(key, 0x0040_0000, &words);
-        prop_assert_eq!(WindowHasher::hash_window(key, 0x0040_0000, &words), base);
+        assert_eq!(WindowHasher::hash_window(key, 0x0040_0000, &words), base);
         let mut mutated = words.clone();
-        let i = index.index(mutated.len());
+        let i = rng.index(mutated.len());
+        let flip = loop {
+            let f = rng.next_u32();
+            if f != 0 {
+                break f;
+            }
+        };
         mutated[i] ^= flip;
-        prop_assert_ne!(WindowHasher::hash_window(key, 0x0040_0000, &mutated), base);
+        assert_ne!(WindowHasher::hash_window(key, 0x0040_0000, &mutated), base);
     }
+}
 
-    /// Moving a window without re-signing changes the digest.
-    #[test]
-    fn hash_is_position_binding(
-        key in any::<u64>(),
-        words in prop::collection::vec(any::<u32>(), 1..16),
-        delta_words in 1u32..1024,
-    ) {
+/// Moving a window without re-signing changes the digest.
+#[test]
+fn hash_is_position_binding() {
+    let mut rng = Rng64::new(0x5EC0_0005);
+    for _ in 0..1000 {
+        let key = rng.next_u64();
+        let len = rng.range_inclusive(1, 15) as usize;
+        let words: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
+        let delta_words = rng.range_inclusive(1, 1023) as u32;
         let a = WindowHasher::hash_window(key, 0x0040_0000, &words);
         let b = WindowHasher::hash_window(key, 0x0040_0000 + delta_words * 4, &words);
-        prop_assert_ne!(a, b);
+        assert_ne!(a, b);
     }
+}
 
-    /// Different keys give different keystreams somewhere in any small
-    /// address neighbourhood (key recovery cannot be bypassed by guessing
-    /// a related key).
-    #[test]
-    fn distinct_keys_diverge(key in any::<u64>(), tweak in 1u64..=u64::MAX) {
+/// Different keys give different keystreams somewhere in any small
+/// address neighbourhood (key recovery cannot be bypassed by guessing
+/// a related key).
+#[test]
+fn distinct_keys_diverge() {
+    let mut rng = Rng64::new(0x5EC0_0006);
+    for _ in 0..1000 {
+        let key = rng.next_u64();
+        let tweak = loop {
+            let t = rng.next_u64();
+            if t != 0 {
+                break t;
+            }
+        };
         let other = key ^ tweak;
-        let diverges = (0..16u32).any(|i| {
-            keystream(key, 0x0040_0000 + 4 * i) != keystream(other, 0x0040_0000 + 4 * i)
-        });
-        prop_assert!(diverges);
+        let diverges = (0..16u32)
+            .any(|i| keystream(key, 0x0040_0000 + 4 * i) != keystream(other, 0x0040_0000 + 4 * i));
+        assert!(diverges, "key {key:#x} tweak {tweak:#x}");
     }
 }

@@ -62,7 +62,7 @@ impl CacheConfig {
         if self.ways == 0 {
             return Err("associativity must be at least 1".to_owned());
         }
-        if self.size_bytes == 0 || self.size_bytes % (self.line_bytes * self.ways) != 0 {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes * self.ways) {
             return Err(format!(
                 "size {} is not a multiple of line*ways = {}",
                 self.size_bytes,

@@ -171,7 +171,7 @@ impl<M: FetchMonitor> Machine<M> {
                 return Outcome::OutOfFuel;
             }
             let pc = self.pc;
-            if pc % 4 != 0 || pc < self.text_base || pc >= self.text_end {
+            if !pc.is_multiple_of(4) || pc < self.text_base || pc >= self.text_end {
                 return Outcome::Fault(Fault::WildPc { pc });
             }
 
@@ -290,14 +290,11 @@ impl<M: FetchMonitor> Machine<M> {
             Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
             Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
             Nor { rd, rs, rt } => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))),
-            Slt { rd, rs, rt } => self.set_reg(
-                rd,
-                u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)),
-            ),
-            Sltu { rd, rs, rt } => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))),
-            Addi { rt, rs, imm } => {
-                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32))
+            Slt { rd, rs, rt } => {
+                self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)))
             }
+            Sltu { rd, rs, rt } => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))),
+            Addi { rt, rs, imm } => self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32)),
             Slti { rt, rs, imm } => {
                 self.set_reg(rt, u32::from((self.reg(rs) as i32) < i32::from(imm)))
             }
@@ -320,7 +317,7 @@ impl<M: FetchMonitor> Machine<M> {
             }
             Lh { rt, off, base } => {
                 let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if addr % 2 != 0 {
+                if !addr.is_multiple_of(2) {
                     return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
                 }
                 self.data_access(addr, false);
@@ -328,7 +325,7 @@ impl<M: FetchMonitor> Machine<M> {
             }
             Lhu { rt, off, base } => {
                 let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if addr % 2 != 0 {
+                if !addr.is_multiple_of(2) {
                     return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
                 }
                 self.data_access(addr, false);
@@ -336,7 +333,7 @@ impl<M: FetchMonitor> Machine<M> {
             }
             Lw { rt, off, base } => {
                 let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if addr % 4 != 0 {
+                if !addr.is_multiple_of(4) {
                     return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
                 }
                 self.data_access(addr, false);
@@ -349,7 +346,7 @@ impl<M: FetchMonitor> Machine<M> {
             }
             Sh { rt, off, base } => {
                 let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if addr % 2 != 0 {
+                if !addr.is_multiple_of(2) {
                     return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
                 }
                 self.data_access(addr, true);
@@ -357,7 +354,7 @@ impl<M: FetchMonitor> Machine<M> {
             }
             Sw { rt, off, base } => {
                 let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if addr % 4 != 0 {
+                if !addr.is_multiple_of(4) {
                     return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
                 }
                 self.data_access(addr, true);
@@ -392,12 +389,7 @@ impl<M: FetchMonitor> Machine<M> {
             11 => self.output.push((a0 as u8) as char),
             17 => return Step::Stop(Outcome::Exit(a0 as i32)),
             34 => self.output.push_str(&format!("{a0:08x}")),
-            other => {
-                return Step::Stop(Outcome::Fault(Fault::BadSyscall {
-                    pc,
-                    service: other,
-                }))
-            }
+            other => return Step::Stop(Outcome::Fault(Fault::BadSyscall { pc, service: other })),
         }
         Step::Next
     }
@@ -706,7 +698,8 @@ loop:   addi $t0, $t0, -1
                 })
             }
         }
-        let image = flexprot_asm::assemble_or_panic("main: nop\n nop\n nop\n nop\n li $v0, 10\n syscall\n");
+        let image =
+            flexprot_asm::assemble_or_panic("main: nop\n nop\n nop\n nop\n li $v0, 10\n syscall\n");
         let r = Machine::with_monitor(&image, SimConfig::default(), TripAtThird(0)).run();
         match r.outcome {
             Outcome::TamperDetected(event) => {

@@ -1,52 +1,147 @@
 //! Differential testing of the CPU executor: random straight-line ALU
 //! programs run on the full [`Machine`] (through encode → memory → fetch →
 //! decode → execute) must agree with an independent register-file
-//! interpreter evaluating the same instruction list directly.
+//! interpreter evaluating the same instruction list directly. Driven by
+//! the in-repo deterministic PRNG.
 
-use flexprot_isa::{Image, Inst, Reg};
+use flexprot_isa::{Image, Inst, Reg, Rng64};
 use flexprot_sim::{Machine, Outcome, SimConfig};
-use proptest::prelude::*;
 
 /// Registers the random programs operate on ($t0..$t7, $s0..$s7).
-fn arb_work_reg() -> impl Strategy<Value = Reg> {
-    (8u8..24).prop_map(|i| Reg::from_index(i).expect("in range"))
+fn work_reg(rng: &mut Rng64) -> Reg {
+    Reg::from_index(8 + rng.below(16) as u8).expect("in range")
 }
 
-fn arb_alu_inst() -> impl Strategy<Value = Inst> {
-    let r = arb_work_reg;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Addu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Subu { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Mul { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Div { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Rem { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::And { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Or { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Xor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Nor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Slt { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Inst::Sltu { rd, rs, rt }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Sll { rd, rt, sh }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Srl { rd, rt, sh }),
-        (r(), r(), 0u8..32).prop_map(|(rd, rt, sh)| Inst::Sra { rd, rt, sh }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Sllv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srlv { rd, rt, rs }),
-        (r(), r(), r()).prop_map(|(rd, rt, rs)| Inst::Srav { rd, rt, rs }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Addi { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Slti { rt, rs, imm }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Inst::Sltiu { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Andi { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Ori { rt, rs, imm }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Inst::Xori { rt, rs, imm }),
-        (r(), any::<u16>()).prop_map(|(rt, imm)| Inst::Lui { rt, imm }),
-    ]
+fn arb_alu_inst(rng: &mut Rng64) -> Inst {
+    let r = work_reg;
+    match rng.below(24) {
+        0 => Inst::Addu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        1 => Inst::Subu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        2 => Inst::Mul {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        3 => Inst::Div {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        4 => Inst::Rem {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        5 => Inst::And {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        6 => Inst::Or {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        7 => Inst::Xor {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        8 => Inst::Nor {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        9 => Inst::Slt {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        10 => Inst::Sltu {
+            rd: r(rng),
+            rs: r(rng),
+            rt: r(rng),
+        },
+        11 => Inst::Sll {
+            rd: r(rng),
+            rt: r(rng),
+            sh: rng.below(32) as u8,
+        },
+        12 => Inst::Srl {
+            rd: r(rng),
+            rt: r(rng),
+            sh: rng.below(32) as u8,
+        },
+        13 => Inst::Sra {
+            rd: r(rng),
+            rt: r(rng),
+            sh: rng.below(32) as u8,
+        },
+        14 => Inst::Sllv {
+            rd: r(rng),
+            rt: r(rng),
+            rs: r(rng),
+        },
+        15 => Inst::Srlv {
+            rd: r(rng),
+            rt: r(rng),
+            rs: r(rng),
+        },
+        16 => Inst::Srav {
+            rd: r(rng),
+            rt: r(rng),
+            rs: r(rng),
+        },
+        17 => Inst::Addi {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_i16(),
+        },
+        18 => Inst::Slti {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_i16(),
+        },
+        19 => Inst::Sltiu {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_i16(),
+        },
+        20 => Inst::Andi {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_u32() as u16,
+        },
+        21 => Inst::Ori {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_u32() as u16,
+        },
+        22 => Inst::Xori {
+            rt: r(rng),
+            rs: r(rng),
+            imm: rng.next_u32() as u16,
+        },
+        _ => Inst::Lui {
+            rt: r(rng),
+            imm: rng.next_u32() as u16,
+        },
+    }
 }
 
 /// Reference interpreter: must mirror `flexprot_sim::cpu` ALU semantics.
 fn interpret(regs: &mut [u32; 32], inst: Inst) {
     use Inst::*;
     let get = |regs: &[u32; 32], r: Reg| regs[r.index() as usize];
-    let mut set = |regs: &mut [u32; 32], r: Reg, v: u32| {
+    let set = |regs: &mut [u32; 32], r: Reg, v: u32| {
         if r != Reg::ZERO {
             regs[r.index() as usize] = v;
         }
@@ -90,7 +185,7 @@ fn interpret(regs: &mut [u32; 32], inst: Inst) {
         Ori { rt, rs, imm } => set(regs, rt, get(regs, rs) | u32::from(imm)),
         Xori { rt, rs, imm } => set(regs, rt, get(regs, rs) ^ u32::from(imm)),
         Lui { rt, imm } => set(regs, rt, u32::from(imm) << 16),
-        _ => unreachable!("strategy only generates ALU instructions"),
+        _ => unreachable!("generator only produces ALU instructions"),
     }
 }
 
@@ -140,16 +235,23 @@ fn build_program(seeds: &[u16; 16], ops: &[Inst]) -> Vec<Inst> {
     program
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn seeds_and_ops(rng: &mut Rng64, max_ops: u64) -> ([u16; 16], Vec<Inst>) {
+    let mut seeds = [0u16; 16];
+    for s in &mut seeds {
+        *s = rng.next_u32() as u16;
+    }
+    let count = rng.below(max_ops) as usize;
+    let ops = (0..count).map(|_| arb_alu_inst(rng)).collect();
+    (seeds, ops)
+}
 
-    /// The machine and the reference interpreter agree on the final
-    /// register state of arbitrary ALU programs.
-    #[test]
-    fn machine_matches_reference_interpreter(
-        seeds in prop::array::uniform16(any::<u16>()),
-        ops in prop::collection::vec(arb_alu_inst(), 0..200),
-    ) {
+/// The machine and the reference interpreter agree on the final
+/// register state of arbitrary ALU programs.
+#[test]
+fn machine_matches_reference_interpreter() {
+    let mut rng = Rng64::new(0xD1FF_0001);
+    for _ in 0..128 {
+        let (seeds, ops) = seeds_and_ops(&mut rng, 200);
         let program = build_program(&seeds, &ops);
         // Reference execution of everything before the print epilogue.
         let mut regs = [0u32; 32];
@@ -164,22 +266,23 @@ proptest! {
 
         let image = Image::from_text(program.iter().map(|i| i.encode()).collect());
         let result = Machine::new(&image, SimConfig::default()).run();
-        prop_assert_eq!(&result.outcome, &Outcome::Exit(0));
-        prop_assert_eq!(result.output, format!("{expected:08x}"));
-        prop_assert_eq!(result.stats.instructions, program.len() as u64);
+        assert_eq!(result.outcome, Outcome::Exit(0));
+        assert_eq!(result.output, format!("{expected:08x}"));
+        assert_eq!(result.stats.instructions, program.len() as u64);
     }
+}
 
-    /// The same program also agrees when run under full protection —
-    /// the protection pipeline must never change ALU semantics.
-    #[test]
-    fn protected_machine_matches_reference(
-        seeds in prop::array::uniform16(any::<u16>()),
-        ops in prop::collection::vec(arb_alu_inst(), 0..48),
-    ) {
+/// The same program also agrees when run under full protection —
+/// the protection pipeline must never change ALU semantics.
+#[test]
+fn protected_machine_matches_reference() {
+    let mut rng = Rng64::new(0xD1FF_0002);
+    for _ in 0..64 {
+        let (seeds, ops) = seeds_and_ops(&mut rng, 48);
         let program = build_program(&seeds, &ops);
         let image = Image::from_text(program.iter().map(|i| i.encode()).collect());
         let plain = Machine::new(&image, SimConfig::default()).run();
-        prop_assert_eq!(&plain.outcome, &Outcome::Exit(0));
+        assert_eq!(plain.outcome, Outcome::Exit(0));
         // Straight-line programs have no relocations and no branches, so
         // guard insertion applies without an assembler round trip.
         let config = flexprot_core::ProtectionConfig::new()
@@ -187,7 +290,7 @@ proptest! {
             .with_encryption(flexprot_core::EncryptConfig::whole_program(0xD1FF));
         let protected = flexprot_core::protect(&image, &config, None).expect("protect");
         let run = protected.run(SimConfig::default());
-        prop_assert_eq!(&run.outcome, &Outcome::Exit(0));
-        prop_assert_eq!(run.output, plain.output);
+        assert_eq!(run.outcome, Outcome::Exit(0));
+        assert_eq!(run.output, plain.output);
     }
 }

@@ -1,0 +1,114 @@
+//! `flexprot-verify` — independent static verification of protected images.
+//!
+//! The protection toolchain (`flexprot-core`) *constructs* guarded,
+//! encrypted images; this crate *proves* them, by re-deriving every
+//! protection invariant from nothing but the shipped image and the
+//! monitor configuration that will be provisioned into the hardware. The
+//! two implementations share the ISA definition and the hardware contract
+//! (the window hash, the guard encoding, the keystream — all in
+//! `flexprot-secmon`) but none of the rewriting machinery: control-flow
+//! recovery, the spacing dataflow and every structural check here are
+//! written from the raw bits up, so a bug on either side of the N-version
+//! pair surfaces as a finding instead of cancelling out.
+//!
+//! [`verify`] runs five analyses (see [`checks`](crate::checks) — flow,
+//! guards, spacing, relocations, regions) and returns a [`Report`] of
+//! [`Finding`]s with stable lint IDs (`fplint --lints` enumerates them).
+//! An image is *clean* when no finding has [`Severity::Error`]; policies
+//! ([`LintPolicy`]) can promote or demote individual lints.
+//!
+//! ```
+//! use flexprot_verify::{verify, Severity};
+//! # use flexprot_secmon::SecMonConfig;
+//! let image = flexprot_asm::assemble("main: li $v0, 10\n syscall\n")?;
+//! let report = verify(&image, &SecMonConfig::transparent());
+//! assert!(report.is_clean());
+//! assert_eq!(report.count(Severity::Error), 0);
+//! # Ok::<(), flexprot_asm::AsmError>(())
+//! ```
+
+mod checks;
+pub mod diag;
+pub mod flow;
+
+pub use diag::{lint_by_id, Finding, Lint, LintPolicy, Report, Severity, VerifyStats, LINTS};
+pub use flow::{Edge, EdgeKind, Flow};
+
+use flexprot_isa::Image;
+use flexprot_secmon::SecMonConfig;
+
+/// Collects findings, applying the policy's severity overrides at emission.
+pub(crate) struct Sink<'p> {
+    policy: &'p LintPolicy,
+    findings: Vec<Finding>,
+}
+
+impl Sink<'_> {
+    fn emit(&mut self, lint: &'static Lint, addr: Option<u32>, message: String) {
+        self.emit_severity(lint, lint.default_severity, addr, message);
+    }
+
+    fn emit_severity(
+        &mut self,
+        lint: &'static Lint,
+        chosen: Severity,
+        addr: Option<u32>,
+        message: String,
+    ) {
+        self.findings.push(Finding {
+            id: lint.id,
+            name: lint.name,
+            severity: self.policy.effective(lint, chosen),
+            addr,
+            message,
+        });
+    }
+}
+
+/// The text segment after undoing the configured encryption regions —
+/// the plaintext the core will execute.
+pub fn decrypt_text(image: &Image, config: &SecMonConfig) -> Vec<u32> {
+    image
+        .text
+        .iter()
+        .enumerate()
+        .map(|(i, &word)| config.regions.apply(image.addr_of_index(i), word))
+        .collect()
+}
+
+/// Verifies `image` against `config` under the default lint policy.
+pub fn verify(image: &Image, config: &SecMonConfig) -> Report {
+    verify_with_policy(image, config, &LintPolicy::default())
+}
+
+/// Verifies `image` against `config`, applying `policy`'s severity
+/// overrides to every finding.
+pub fn verify_with_policy(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Report {
+    let text = decrypt_text(image, config);
+    let flow = Flow::recover(image, &text);
+    let ctx = checks::Ctx {
+        image,
+        config,
+        text,
+        flow,
+    };
+    let mut sink = Sink {
+        policy,
+        findings: Vec::new(),
+    };
+    checks::check_flow(&ctx, &mut sink);
+    let sites_checked = checks::check_guards(&ctx, &mut sink);
+    let max_spacing = checks::check_spacing(&ctx, &mut sink);
+    let relocs_checked = checks::check_relocs(&ctx, &mut sink);
+    checks::check_regions(&ctx, &mut sink);
+    Report {
+        stats: VerifyStats {
+            text_words: ctx.text.len(),
+            reachable_words: ctx.flow.reachable_count(),
+            sites_checked,
+            relocs_checked,
+            max_spacing,
+        },
+        findings: sink.findings,
+    }
+}

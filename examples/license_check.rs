@@ -91,13 +91,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match &r.outcome {
         Outcome::TamperDetected(event) => {
             println!("  secure monitor: {event}");
-            println!("  -> bypass detected after {} instructions", r.stats.instructions);
+            println!(
+                "  -> bypass detected after {} instructions",
+                r.stats.instructions
+            );
         }
         other => println!("  unexpected outcome {other:?}"),
     }
 
     // And the untampered protected binary still refuses politely.
     let r = protected.run(SimConfig::default());
-    println!("\nuntampered protected binary: {:?}, output {:?}", r.outcome, r.output);
+    println!(
+        "\nuntampered protected binary: {:?}, output {:?}",
+        r.outcome, r.output
+    );
     Ok(())
 }

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A leaked binary identifies its customer.
     let leaked = watermark::extract(&build_b, &config, 9).expect("extract");
-    println!("leaked binary traces to: {}", String::from_utf8_lossy(&leaked));
+    println!(
+        "leaked binary traces to: {}",
+        String::from_utf8_lossy(&leaked)
+    );
     assert_eq!(&leaked, b"CUST-1337");
 
     // And the two builds differ only in covert bits — same word count,

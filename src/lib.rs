@@ -19,6 +19,7 @@
 //! | [`secmon`] | `flexprot-secmon` | the FPGA secure-monitor model |
 //! | [`core`] | `flexprot-core` | protection passes + budget optimizer |
 //! | [`attack`] | `flexprot-attack` | tamper attacks + detection harness |
+//! | [`verify`] | `flexprot-verify` | independent static verification (`fplint`) |
 //! | [`workloads`] | `flexprot-workloads` | embedded benchmark kernels |
 //!
 //! # Quickstart
@@ -55,4 +56,5 @@ pub use flexprot_core as core;
 pub use flexprot_isa as isa;
 pub use flexprot_secmon as secmon;
 pub use flexprot_sim as sim;
+pub use flexprot_verify as verify;
 pub use flexprot_workloads as workloads;
