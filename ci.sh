@@ -15,4 +15,43 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test --workspace =="
 cargo test --workspace --quiet
 
+echo "== observability smoke: fprun --metrics schema =="
+# Build one protected workload end-to-end through the CLI, run it with
+# metrics emission and check the document parses with its stable schema
+# keys intact.
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+cat > "$OBS_DIR/smoke.s" <<'EOF'
+main:   li   $s0, 10
+        li   $s1, 0
+loop:   addu $s1, $s1, $s0
+        addi $s0, $s0, -1
+        bgtz $s0, loop
+        move $a0, $s1
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+EOF
+cargo run --quiet --release -p flexprot-cli --bin fpasm -- \
+    "$OBS_DIR/smoke.s" --o "$OBS_DIR/smoke.fpx"
+cargo run --quiet --release -p flexprot-cli --bin fpprotect -- \
+    "$OBS_DIR/smoke.fpx" --o "$OBS_DIR/smoke.prot.fpx" \
+    --secmon "$OBS_DIR/smoke.fpm" --density 1.0 --encrypt program
+cargo run --quiet --release -p flexprot-cli --bin fprun -- \
+    "$OBS_DIR/smoke.prot.fpx" --secmon "$OBS_DIR/smoke.fpm" \
+    --metrics "$OBS_DIR/smoke.metrics.json" --trace "$OBS_DIR/smoke.trace.jsonl" \
+    > /dev/null
+for key in '"schema":"flexprot-metrics-v1"' '"counters"' '"histograms"' \
+           '"icache_accesses"' '"guard_checks_passed"' '"decrypt_stall_cycles"' \
+           '"sim_cycles"' '"instructions_committed"'; do
+    grep -q "$key" "$OBS_DIR/smoke.metrics.json" || {
+        echo "metrics document missing $key"; exit 1;
+    }
+done
+grep -q '"ev":"run_end"' "$OBS_DIR/smoke.trace.jsonl" || {
+    echo "trace missing run_end event"; exit 1;
+}
+echo "metrics schema OK"
+
 echo "CI OK"

@@ -1,9 +1,12 @@
 //! The detection-coverage evaluation harness.
 
+use std::collections::BTreeMap;
+
 use flexprot_core::Protected;
 use flexprot_isa::{Image, Rng64};
 use flexprot_secmon::SecMonConfig;
-use flexprot_sim::{Outcome, SimConfig};
+use flexprot_sim::{Fault, Outcome, SimConfig};
+use flexprot_trace::{Recorder, TraceEvent};
 
 use crate::attacks::Attack;
 
@@ -24,6 +27,43 @@ pub enum TrialOutcome {
     Timeout,
     /// The attack found no applicable site in this binary.
     Inapplicable,
+}
+
+/// What *proved* a detection: the trace event or fault kind that stopped
+/// the attacked run.
+///
+/// Guard-machinery causes come from the monitor's own event stream (the
+/// [`TraceEvent::GuardFail`] / [`TraceEvent::SpacingExceeded`] event
+/// recorded during the trial); fault causes come from the CPU. On an
+/// encrypted binary an [`DetectionCause::DecryptGarble`] means the
+/// attacker's plaintext patch decrypted to an undecodable word — on a
+/// plaintext binary it means the patch itself was undecodable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DetectionCause {
+    /// A guard signature check failed (mismatch, malformed guard word or
+    /// interrupted sequence) — proven by a guard-fail event.
+    GuardFail,
+    /// The spacing counter exceeded its bound — guard stripping.
+    SpacingBound,
+    /// An illegal-instruction fault: the fetched word decoded to garbage.
+    DecryptGarble,
+    /// Control flow left the text segment.
+    WildControlFlow,
+    /// Any other hard fault (unaligned access, break, bad syscall).
+    OtherFault,
+}
+
+impl DetectionCause {
+    /// Stable lowercase name (used as a metrics/report key).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DetectionCause::GuardFail => "guard_fail",
+            DetectionCause::SpacingBound => "spacing_bound",
+            DetectionCause::DecryptGarble => "decrypt_garble",
+            DetectionCause::WildControlFlow => "wild_control_flow",
+            DetectionCause::OtherFault => "other_fault",
+        }
+    }
 }
 
 /// Aggregated results of many randomized trials of one attack family.
@@ -48,6 +88,9 @@ pub struct AttackSummary {
     pub latency_sum: u64,
     /// Individual detection latencies (instructions), for percentiles.
     pub latencies: Vec<u64>,
+    /// How each caught trial (detected or faulted) was proven, keyed by
+    /// [`DetectionCause`].
+    pub causes: BTreeMap<DetectionCause, u32>,
 }
 
 impl AttackSummary {
@@ -113,14 +156,34 @@ impl AttackSummary {
         self.static_detected += other.static_detected;
         self.latency_sum += other.latency_sum;
         self.latencies.extend_from_slice(&other.latencies);
+        for (cause, count) in &other.causes {
+            *self.causes.entry(*cause).or_insert(0) += count;
+        }
+    }
+
+    /// Number of caught trials proven by `cause`.
+    pub fn cause_count(&self, cause: DetectionCause) -> u32 {
+        self.causes.get(&cause).copied().unwrap_or(0)
     }
 
     fn record(&mut self, outcome: TrialOutcome, static_flagged: bool) {
+        self.record_caused(outcome, static_flagged, None);
+    }
+
+    fn record_caused(
+        &mut self,
+        outcome: TrialOutcome,
+        static_flagged: bool,
+        cause: Option<DetectionCause>,
+    ) {
         if outcome != TrialOutcome::Inapplicable {
             self.applied += 1;
             if static_flagged {
                 self.static_detected += 1;
             }
+        }
+        if let Some(cause) = cause {
+            *self.causes.entry(cause).or_insert(0) += 1;
         }
         match outcome {
             TrialOutcome::Detected { latency_instrs } => {
@@ -153,16 +216,33 @@ pub fn run_trial(
     rng: &mut Rng64,
     sim: &SimConfig,
 ) -> TrialOutcome {
+    run_trial_attributed(protected, expected_output, attack, rng, sim).0
+}
+
+/// Like [`run_trial`] but also reports which event or fault proved a
+/// caught run (`None` for benign/wrong-output/timeout/inapplicable).
+pub fn run_trial_attributed(
+    protected: &Protected,
+    expected_output: &str,
+    attack: Attack,
+    rng: &mut Rng64,
+    sim: &SimConfig,
+) -> (TrialOutcome, Option<DetectionCause>) {
     let mut mutated = protected.clone();
     if !attack.apply(&mut mutated.image, rng) {
-        return TrialOutcome::Inapplicable;
+        return (TrialOutcome::Inapplicable, None);
     }
     classify(&mutated, expected_output, sim)
 }
 
-fn classify(mutated: &Protected, expected_output: &str, sim: &SimConfig) -> TrialOutcome {
-    let result = mutated.run(sim.clone());
-    match result.outcome {
+fn classify(
+    mutated: &Protected,
+    expected_output: &str,
+    sim: &SimConfig,
+) -> (TrialOutcome, Option<DetectionCause>) {
+    let (sink, recorder) = Recorder::new().shared();
+    let result = mutated.run_traced(sim.clone(), &sink);
+    let outcome = match result.outcome {
         Outcome::TamperDetected(_) => TrialOutcome::Detected {
             latency_instrs: result.stats.instructions,
         },
@@ -170,7 +250,20 @@ fn classify(mutated: &Protected, expected_output: &str, sim: &SimConfig) -> Tria
         Outcome::OutOfFuel => TrialOutcome::Timeout,
         Outcome::Exit(0) if result.output == expected_output => TrialOutcome::Benign,
         Outcome::Exit(_) => TrialOutcome::WrongOutput,
-    }
+    };
+    let cause = match &result.outcome {
+        // A tamper detection is proven by the monitor's own failure
+        // event, recorded during the run.
+        Outcome::TamperDetected(_) => Some(match recorder.borrow().first_failure() {
+            Some(TraceEvent::SpacingExceeded { .. }) => DetectionCause::SpacingBound,
+            _ => DetectionCause::GuardFail,
+        }),
+        Outcome::Fault(Fault::IllegalInstruction { .. }) => Some(DetectionCause::DecryptGarble),
+        Outcome::Fault(Fault::WildPc { .. }) => Some(DetectionCause::WildControlFlow),
+        Outcome::Fault(_) => Some(DetectionCause::OtherFault),
+        Outcome::Exit(_) | Outcome::OutOfFuel => None,
+    };
+    (outcome, cause)
 }
 
 /// Runs `trials` randomized instances of `attack` and aggregates them.
@@ -194,7 +287,8 @@ pub fn evaluate(
             continue;
         }
         let flagged = static_detects(&mutated.image, &mutated.secmon);
-        summary.record(classify(&mutated, expected_output, sim), flagged);
+        let (outcome, cause) = classify(&mutated, expected_output, sim);
+        summary.record_caused(outcome, flagged, cause);
     }
     summary
 }
@@ -323,7 +417,7 @@ loop:   addu $s0, $s0, $t0
                     continue;
                 }
                 let statically = static_detects(&mutated.image, &mutated.secmon);
-                let outcome = classify(&mutated, &expected, &fast_sim());
+                let (outcome, _) = classify(&mutated, &expected, &fast_sim());
                 if !matches!(outcome, TrialOutcome::Benign | TrialOutcome::Inapplicable) {
                     effective += 1;
                     assert!(
@@ -352,6 +446,53 @@ loop:   addu $s0, $s0, $t0
         assert!(
             summary.static_detected >= summary.detected + summary.faulted + summary.wrong_output,
             "static must dominate the dynamic outcomes: {summary:?}"
+        );
+    }
+
+    #[test]
+    fn guard_detections_are_attributed_to_guard_fail_events() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let summary = evaluate(&protected, &expected, Attack::BitFlip, 40, 7, &fast_sim());
+        assert!(summary.detected > 0, "{summary:?}");
+        // Every monitor detection on a guards-only binary is proven by a
+        // guard-machinery event, never by a decrypt fault.
+        assert_eq!(
+            summary.cause_count(DetectionCause::GuardFail)
+                + summary.cause_count(DetectionCause::SpacingBound),
+            summary.detected,
+            "{summary:?}"
+        );
+        // Faults, if any, carry their own causes; totals must reconcile.
+        let total: u32 = summary.causes.values().sum();
+        assert_eq!(total, summary.detected + summary.faulted, "{summary:?}");
+    }
+
+    #[test]
+    fn injection_into_ciphertext_is_attributed_to_decrypt_garble() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xC0DE));
+        let protected = protect(&image, &config, None).unwrap();
+        let summary = evaluate(
+            &protected,
+            &expected,
+            Attack::CodeInject,
+            30,
+            11,
+            &fast_sim(),
+        );
+        // No guards here: whatever got caught was caught by the decrypt
+        // path turning the payload into garbage (illegal decode or wild
+        // control flow), never by a guard event.
+        assert_eq!(summary.cause_count(DetectionCause::GuardFail), 0);
+        assert_eq!(summary.cause_count(DetectionCause::SpacingBound), 0);
+        assert!(
+            summary.cause_count(DetectionCause::DecryptGarble)
+                + summary.cause_count(DetectionCause::WildControlFlow)
+                + summary.cause_count(DetectionCause::OtherFault)
+                > 0,
+            "{summary:?}"
         );
     }
 

@@ -22,4 +22,7 @@ pub mod attacks;
 pub mod harness;
 
 pub use attacks::Attack;
-pub use harness::{evaluate, static_detects, AttackSummary, TrialOutcome};
+pub use harness::{
+    evaluate, run_trial, run_trial_attributed, static_detects, AttackSummary, DetectionCause,
+    TrialOutcome,
+};

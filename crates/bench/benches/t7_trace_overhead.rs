@@ -1,0 +1,59 @@
+//! T7 bench: cost of the observability layer.
+//!
+//! Compares the protected-run simulation wall clock with the event sink
+//! detached (the shipping configuration — must be indistinguishable from
+//! the pre-trace simulator, <2% regression) and attached (full metric
+//! aggregation), so the price of `--metrics` is measured, not guessed.
+
+use flexprot_bench::micro::{black_box, Bench};
+use flexprot_bench::{ENC_KEY, GUARD_KEY};
+use flexprot_core::{protect, EncryptConfig, GuardConfig, ProtectionConfig};
+use flexprot_sim::{Outcome, SimConfig};
+use flexprot_trace::Recorder;
+
+fn bench(c: &mut Bench) {
+    let workload = flexprot_workloads::by_name("rle").expect("kernel");
+    let image = workload.image();
+    let config = ProtectionConfig::new()
+        .with_guards(GuardConfig {
+            key: GUARD_KEY,
+            ..GuardConfig::with_density(1.0)
+        })
+        .with_encryption(EncryptConfig::whole_program(ENC_KEY));
+    let protected = protect(&image, &config, None).unwrap();
+
+    c.bench_function("t7/protected_sim_sink_detached", |b| {
+        b.iter(|| {
+            let r = protected.run(SimConfig::default());
+            assert_eq!(r.outcome, Outcome::Exit(0));
+            r.stats.cycles
+        })
+    });
+
+    c.bench_function("t7/protected_sim_sink_attached", |b| {
+        b.iter(|| {
+            let (sink, recorder) = Recorder::new().shared();
+            let r = protected.run_traced(SimConfig::default(), &sink);
+            assert_eq!(r.outcome, Outcome::Exit(0));
+            let committed = recorder
+                .borrow()
+                .metrics()
+                .counter("instructions_committed");
+            black_box((r.stats.cycles, committed))
+        })
+    });
+
+    c.bench_function("t7/protected_sim_sink_attached_jsonl", |b| {
+        b.iter(|| {
+            let (sink, recorder) = Recorder::with_trace().shared();
+            let r = protected.run_traced(SimConfig::default(), &sink);
+            assert_eq!(r.outcome, Outcome::Exit(0));
+            let lines = recorder.borrow().trace_lines().len();
+            black_box((r.stats.cycles, lines))
+        })
+    });
+}
+
+fn main() {
+    bench(&mut Bench::new());
+}

@@ -33,6 +33,7 @@ use flexprot_core::{
 use flexprot_isa::Image;
 use flexprot_secmon::DecryptModel;
 use flexprot_sim::{CacheConfig, Machine, Outcome, RunResult, SimConfig};
+use flexprot_trace::Recorder;
 use flexprot_workloads::Workload;
 
 pub use table::Table;
@@ -154,6 +155,53 @@ fn run_protected(workload: &Workload, protected: &Protected, sim: &SimConfig) ->
     result
 }
 
+/// Cycle components of one run, read from the trace histograms: the pure
+/// memory miss path versus the stall attributable to the decrypt unit.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleBreakdown {
+    /// Cycles spent on I-cache line fills (memory latency + burst), before
+    /// any monitor penalty.
+    pub miss_fill_cycles: u64,
+    /// Extra fill cycles charged by the secure monitor's decrypt unit.
+    pub decrypt_stall_cycles: u64,
+}
+
+/// Runs a protected image with a [`Recorder`] attached and splits its
+/// cycles into miss-path and decrypt-stall components (histogram sums).
+///
+/// Asserts semantic preservation like [`run_protected`].
+fn run_protected_traced(
+    workload: &Workload,
+    protected: &Protected,
+    sim: &SimConfig,
+) -> (RunResult, CycleBreakdown) {
+    let (sink, recorder) = Recorder::new().shared();
+    let result = protected.run_traced(sim.clone(), &sink);
+    assert_eq!(
+        result.outcome,
+        Outcome::Exit(0),
+        "{} failed under protection",
+        workload.name
+    );
+    assert_eq!(
+        result.output,
+        workload.expected_output(),
+        "{} output corrupted by protection",
+        workload.name
+    );
+    let recorder = recorder.borrow();
+    let metrics = recorder.metrics();
+    let breakdown = CycleBreakdown {
+        miss_fill_cycles: metrics
+            .histogram("icache_fill_cycles")
+            .map_or(0, |h| h.sum()),
+        decrypt_stall_cycles: metrics
+            .histogram("decrypt_stall_cycles")
+            .map_or(0, |h| h.sum()),
+    };
+    (result, breakdown)
+}
+
 fn guard_config(density: f64, placement: Placement) -> GuardConfig {
     GuardConfig {
         key: GUARD_KEY,
@@ -260,6 +308,14 @@ pub fn f2_decrypt_latency(params: &Params) -> Table {
         headers.push(format!("serial@{c}"));
         headers.push(format!("pipe@{c}"));
     }
+    // Trace-derived breakdown columns are appended AFTER the overhead block
+    // so the established column positions stay stable.
+    for &c in cpws {
+        for mode in ["ser", "pipe"] {
+            headers.push(format!("dstall%@{c}{mode}"));
+            headers.push(format!("miss%@{c}{mode}"));
+        }
+    }
     let mut table = Table::with_headers(
         "F2",
         "Runtime overhead (%) vs decrypt cycles/word (whole-program encryption)",
@@ -268,6 +324,7 @@ pub fn f2_decrypt_latency(params: &Params) -> Table {
     for w in params.workloads() {
         let b = baseline(&w, &sim);
         let mut row = vec![w.name.to_owned()];
+        let mut breakdown = Vec::new();
         for &cpw in cpws {
             for pipelined in [false, true] {
                 let model = DecryptModel {
@@ -281,10 +338,14 @@ pub fn f2_decrypt_latency(params: &Params) -> Table {
                 };
                 let config = ProtectionConfig::new().with_encryption(enc);
                 let protected = protect(&b.image, &config, None).expect("protect");
-                let r = run_protected(&w, &protected, &sim);
+                let (r, split) = run_protected_traced(&w, &protected, &sim);
                 row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
+                let base = b.run.stats.cycles as f64;
+                breakdown.push(fmt_pct(split.decrypt_stall_cycles as f64 / base * 100.0));
+                breakdown.push(fmt_pct(split.miss_fill_cycles as f64 / base * 100.0));
             }
         }
+        row.extend(breakdown);
         table.push(row);
     }
     table
@@ -302,6 +363,11 @@ pub fn f3_icache_sweep(params: &Params) -> Table {
         headers.push(format!("+%@{s}B"));
         headers.push(format!("miss%@{s}B"));
     }
+    // Trace-derived breakdown columns, appended at the row end (see F2).
+    for &s in sizes {
+        headers.push(format!("dstall%@{s}B"));
+        headers.push(format!("fill%@{s}B"));
+    }
     let mut table = Table::with_headers(
         "F3",
         "Encryption overhead (%) and baseline miss rate vs I-cache size",
@@ -309,6 +375,7 @@ pub fn f3_icache_sweep(params: &Params) -> Table {
     );
     for w in params.workloads() {
         let mut row = vec![w.name.to_owned()];
+        let mut breakdown = Vec::new();
         for &size in sizes {
             let sim = SimConfig {
                 icache: CacheConfig {
@@ -322,10 +389,14 @@ pub fn f3_icache_sweep(params: &Params) -> Table {
             let config =
                 ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY));
             let protected = protect(&b.image, &config, None).expect("protect");
-            let r = run_protected(&w, &protected, &sim);
+            let (r, split) = run_protected_traced(&w, &protected, &sim);
             row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
             row.push(format!("{:.3}", b.run.stats.icache_miss_rate() * 100.0));
+            let base = b.run.stats.cycles as f64;
+            breakdown.push(fmt_pct(split.decrypt_stall_cycles as f64 / base * 100.0));
+            breakdown.push(fmt_pct(split.miss_fill_cycles as f64 / base * 100.0));
         }
+        row.extend(breakdown);
         table.push(row);
     }
     table
@@ -755,6 +826,37 @@ mod tests {
             let serial8: f64 = row[3].parse().unwrap();
             let pipe8: f64 = row[4].parse().unwrap();
             assert!(serial8 >= pipe8 - 0.01, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn f2_breakdown_attributes_overhead_to_decrypt_stall() {
+        let t = f2_decrypt_latency(&QUICK);
+        for row in &t.rows {
+            // Columns: name, serial@2, pipe@2, serial@8, pipe@8, then the
+            // appended (dstall, miss) pairs for 2ser/2pipe/8ser/8pipe.
+            let serial8: f64 = row[3].parse().unwrap();
+            let dstall8: f64 = row[9].parse().unwrap();
+            let miss8: f64 = row[10].parse().unwrap();
+            // Whole-program encryption changes no layout, so the entire
+            // overhead is decrypt stall — the trace must reconcile.
+            assert!((serial8 - dstall8).abs() < 0.02, "row {row:?}");
+            assert!(miss8 > 0.0, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn f3_breakdown_shrinks_with_larger_icache() {
+        let t = f3_icache_sweep(&QUICK);
+        for row in &t.rows {
+            // Columns: name, +%@256B, miss%@256B, +%@4096B, miss%@4096B,
+            // then appended dstall%/fill% per size.
+            let dstall_small: f64 = row[5].parse().unwrap();
+            let fill_small: f64 = row[6].parse().unwrap();
+            let dstall_large: f64 = row[7].parse().unwrap();
+            let fill_large: f64 = row[8].parse().unwrap();
+            assert!(dstall_large <= dstall_small + 0.01, "row {row:?}");
+            assert!(fill_large <= fill_small + 0.01, "row {row:?}");
         }
     }
 

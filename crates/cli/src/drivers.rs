@@ -9,6 +9,7 @@ use flexprot_core::{
 use flexprot_isa::Image;
 use flexprot_secmon::{DecryptModel, SecMon, SecMonConfig};
 use flexprot_sim::{CacheConfig, Machine, Outcome, SimConfig};
+use flexprot_trace::Recorder;
 
 use crate::args::parse;
 
@@ -260,14 +261,22 @@ pub struct RunSummary {
 }
 
 /// `fprun <image.fpx> [--secmon <cfg.fpm>] [--icache BYTES]
-/// [--max-instr N] [--stats]`.
+/// [--max-instr N] [--stats] [--metrics <out.json>] [--trace <out.jsonl>]`.
+///
+/// `--metrics` writes the `flexprot-metrics-v1` counter/histogram document
+/// aggregated from the run's event stream; `--trace` writes every event as
+/// one JSONL line. Either flag attaches the observability sink to both the
+/// CPU and the secure monitor; without them the run is uninstrumented.
 ///
 /// # Errors
 ///
 /// Reports I/O and format failures (simulation outcomes are reported in
 /// the summary, not as errors).
 pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
-    let args = parse(raw_args, &["secmon", "icache", "max-instr"])?;
+    let args = parse(
+        raw_args,
+        &["secmon", "icache", "max-instr", "metrics", "trace"],
+    )?;
     let [input] = args.positional.as_slice() else {
         return Err(CliError(
             "usage: fprun <image.fpx> [--secmon <cfg.fpm>] [--stats]".to_owned(),
@@ -290,13 +299,45 @@ pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
             .validate()
             .map_err(|e| CliError(format!("--icache: {e}")))?;
     }
-    let monitor = match args.value("secmon") {
+    let mut monitor = match args.value("secmon") {
         Some(path) => SecMon::new(
             SecMonConfig::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))?,
         ),
         None => SecMon::new(SecMonConfig::transparent()),
     };
-    let result = Machine::with_monitor(&image, sim, monitor).run();
+    let metrics_path = args.value("metrics").map(str::to_owned);
+    let trace_path = args.value("trace").map(str::to_owned);
+    let observed = (metrics_path.is_some() || trace_path.is_some()).then(|| {
+        let recorder = if trace_path.is_some() {
+            Recorder::with_trace()
+        } else {
+            Recorder::new()
+        };
+        recorder.shared()
+    });
+    if let Some((sink, _)) = &observed {
+        monitor.attach_sink(sink.clone());
+    }
+    let mut machine = Machine::with_monitor(&image, sim, monitor);
+    if let Some((sink, _)) = &observed {
+        machine.attach_sink(sink.clone());
+    }
+    let result = machine.run();
+    if let Some((_, recorder)) = &observed {
+        let recorder = recorder.borrow();
+        if let Some(path) = &metrics_path {
+            write(path, recorder.metrics().to_json().as_bytes())?;
+        }
+        if let Some(path) = &trace_path {
+            let mut body =
+                String::with_capacity(recorder.trace_lines().iter().map(|l| l.len() + 1).sum());
+            for line in recorder.trace_lines() {
+                body.push_str(line);
+                body.push('\n');
+            }
+            write(path, body.as_bytes())?;
+        }
+    }
 
     let (outcome_text, exit_code) = match &result.outcome {
         Outcome::Exit(code) => (format!("exit {code}"), *code),
@@ -524,6 +565,84 @@ mod tests {
             run.exit_code == 101 || run.exit_code == 102,
             "expected tamper/fault, got {run:?}"
         );
+    }
+
+    #[test]
+    fn fprun_emits_metrics_and_trace() {
+        use flexprot_trace::json;
+
+        let src = write_sample_source("obs.s");
+        let fpx = tmp("obs.fpx");
+        let prot = tmp("obs.prot.fpx");
+        let fpm = tmp("obs.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+            "--encrypt",
+            "program",
+        ]))
+        .unwrap();
+        let metrics = tmp("obs.metrics.json");
+        let trace = tmp("obs.trace.jsonl");
+        let run = fprun(&strs(&[
+            &prot,
+            "--secmon",
+            &fpm,
+            "--metrics",
+            &metrics,
+            "--trace",
+            &trace,
+        ]))
+        .unwrap();
+        assert_eq!(run.exit_code, 0, "{run:?}");
+
+        let doc = std::fs::read_to_string(&metrics).unwrap();
+        let value = json::parse(&doc).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(json::Value::as_str),
+            Some(flexprot_trace::METRICS_SCHEMA)
+        );
+        let counters = value.get("counters").expect("counters object");
+        for key in [
+            "icache_accesses",
+            "instructions_committed",
+            "guard_checks_passed",
+            "sim_cycles",
+        ] {
+            assert!(
+                counters.get(key).and_then(json::Value::as_u64).unwrap() > 0,
+                "counter {key} missing or zero in {doc}"
+            );
+        }
+        assert!(value.get("histograms").is_some());
+
+        let body = std::fs::read_to_string(&trace).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            let event = json::parse(line).expect("every trace line is JSON");
+            assert!(event.get("ev").is_some(), "{line}");
+        }
+        assert!(
+            lines.last().unwrap().contains("\"ev\":\"run_end\""),
+            "trace must end with the run_end reconciliation event"
+        );
+    }
+
+    #[test]
+    fn fprun_without_observability_flags_writes_nothing() {
+        let src = write_sample_source("noobs.s");
+        let fpx = tmp("noobs.fpx");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        let run = fprun(&strs(&[&fpx])).unwrap();
+        assert_eq!(run.exit_code, 0, "{run:?}");
+        assert_eq!(run.output, "5");
     }
 
     #[test]

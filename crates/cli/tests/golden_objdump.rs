@@ -1,0 +1,124 @@
+//! Golden-file snapshot tests for `fpobjdump`: the dump of two workloads,
+//! before and after protection, is compared byte-for-byte against checked-in
+//! snapshots. Absolute temp paths are normalized out first so the snapshots
+//! are machine-independent.
+//!
+//! Regenerate after an intentional format or toolchain change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p flexprot-cli --test golden_objdump
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use flexprot_cli::{fpobjdump, fpprotect};
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("flexprot-golden-tests");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Replaces the run's absolute artifact paths with stable placeholders.
+fn normalize(dump: &str, image_path: &str, secmon_path: &str) -> String {
+    let mut out = dump.replace(image_path, "<image.fpx>");
+    if !secmon_path.is_empty() {
+        out = out.replace(secmon_path, "<secmon.fpm>");
+    }
+    out
+}
+
+/// Compares (or, under `UPDATE_GOLDEN=1`, rewrites) one snapshot.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "fpobjdump output drifted from {}; if intentional, regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}
+
+/// Dumps one workload pre- and post-protection and checks both snapshots.
+fn check_workload(name: &str) {
+    let workload = flexprot_workloads::by_name(name).expect("kernel");
+    let image_path = tmp(&format!("{name}.fpx"));
+    fs::write(&image_path, workload.image().to_bytes()).unwrap();
+
+    let pre = fpobjdump(std::slice::from_ref(&image_path)).unwrap();
+    assert_golden(
+        &format!("{name}.pre.txt"),
+        &normalize(&pre, &image_path, ""),
+    );
+
+    // Deterministic protection: fixed default keys, fixed seed, mixed
+    // guard + function-granular encryption so the dump shows guard sites,
+    // regions and ciphertext.
+    let prot_path = tmp(&format!("{name}.prot.fpx"));
+    let secmon_path = tmp(&format!("{name}.fpm"));
+    fpprotect(&[
+        image_path.clone(),
+        "--o".into(),
+        prot_path.clone(),
+        "--secmon".into(),
+        secmon_path.clone(),
+        "--density".into(),
+        "0.5".into(),
+        "--seed".into(),
+        "1".into(),
+        "--encrypt".into(),
+        "function".into(),
+    ])
+    .unwrap();
+    let post = fpobjdump(&[prot_path.clone(), "--secmon".into(), secmon_path.clone()]).unwrap();
+    assert_golden(
+        &format!("{name}.post.txt"),
+        &normalize(&post, &prot_path, &secmon_path),
+    );
+}
+
+#[test]
+fn rle_objdump_matches_golden() {
+    check_workload("rle");
+}
+
+#[test]
+fn bitcount_objdump_matches_golden() {
+    check_workload("bitcount");
+}
+
+/// The snapshots themselves must show the protection artifacts, so a
+/// regeneration that silently produced an empty or unprotected dump fails.
+#[test]
+fn golden_snapshots_contain_protection_artifacts() {
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return; // files may be mid-rewrite in this run
+    }
+    for name in ["rle", "bitcount"] {
+        let pre = fs::read_to_string(golden_path(&format!("{name}.pre.txt"))).unwrap();
+        let post = fs::read_to_string(golden_path(&format!("{name}.post.txt"))).unwrap();
+        assert!(pre.contains("SYMBOLS") && pre.contains("DISASSEMBLY"));
+        assert!(pre.contains("<image.fpx>") && !pre.contains("/tmp"));
+        assert!(post.contains("MONITOR CONFIG (<secmon.fpm>)"), "{name}");
+        assert!(post.contains("guard sites"), "{name}");
+        assert_ne!(pre, post, "{name}: protection must change the dump");
+    }
+}

@@ -15,6 +15,7 @@
 //!   table, with latency charged on I-cache fills.
 
 use flexprot_sim::{FetchMonitor, TamperEvent};
+use flexprot_trace::{SharedSink, TraceEvent};
 
 use crate::guard::{decode_guard_symbol, signature_from_symbols, WindowHasher};
 use crate::schedule::SecMonConfig;
@@ -50,6 +51,7 @@ pub struct SecMon {
     spacing: u64,
     checks_passed: u64,
     tamper_log: Vec<TamperEvent>,
+    sink: Option<SharedSink>,
 }
 
 impl SecMon {
@@ -63,6 +65,21 @@ impl SecMon {
             spacing: 0,
             checks_passed: 0,
             tamper_log: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Attaches an observability sink; guard window transitions, check
+    /// outcomes, spacing-counter activity and decryption-unit work are
+    /// reported to it. With no sink attached (the default) the monitor's
+    /// behaviour and cost are unchanged.
+    pub fn attach_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
+    }
+
+    fn emit(&self, event: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
         }
     }
 
@@ -97,6 +114,7 @@ impl SecMon {
         let claimed = signature_from_symbols(&col.symbols);
         let computed = self.hasher.digest();
         if claimed != computed {
+            self.emit(TraceEvent::GuardFail { site: col.site, pc });
             return self.trip(
                 pc,
                 format!(
@@ -106,6 +124,7 @@ impl SecMon {
                 ),
             );
         }
+        self.emit(TraceEvent::GuardPass { site: col.site });
         self.checks_passed += 1;
         self.spacing = 0;
         self.hasher.reset();
@@ -121,6 +140,7 @@ impl SecMon {
             // attacker could mutate the non-symbol fields freely.
             if !crate::guard::is_guard_form(word) {
                 let site = col.site;
+                self.emit(TraceEvent::GuardFail { site, pc });
                 return self.trip(
                     pc,
                     format!("malformed guard instruction at site {site:#010x}"),
@@ -143,6 +163,7 @@ impl SecMon {
     fn observe(&mut self, pc: u32, word: u32, sequential: bool) -> Option<TamperEvent> {
         if let Some(col) = self.collecting.take() {
             if !sequential || pc != col.next_pc {
+                self.emit(TraceEvent::GuardFail { site: col.site, pc });
                 return self.trip(
                     pc,
                     format!(
@@ -159,10 +180,15 @@ impl SecMon {
             if self.config.reset_points.contains(&pc) {
                 self.spacing = 0;
             }
+            if self.config.window_starts.contains(&pc) {
+                self.emit(TraceEvent::WindowOpen { pc });
+            }
         } else if self.config.window_starts.contains(&pc) {
             self.hasher.reset();
+            self.emit(TraceEvent::WindowOpen { pc });
         }
         if let Some(site) = self.config.sites.get(&pc).copied() {
+            self.emit(TraceEvent::WindowClose { site: pc });
             let col = Collect {
                 site: pc,
                 symbols: Vec::with_capacity(site.symbols as usize),
@@ -177,7 +203,12 @@ impl SecMon {
         if let Some(bound) = self.config.spacing_bound {
             if self.config.in_protected(pc) {
                 self.spacing += 1;
+                self.emit(TraceEvent::SpacingTick {
+                    pc,
+                    count: self.spacing,
+                });
                 if self.spacing > bound {
+                    self.emit(TraceEvent::SpacingExceeded { pc, bound });
                     return self.trip(
                         pc,
                         format!("guard spacing bound {bound} exceeded in protected region"),
@@ -199,7 +230,15 @@ impl FetchMonitor for SecMon {
             .config
             .regions
             .encrypted_words_in_line(line_addr, line_words);
-        self.config.decrypt.fill_penalty(encrypted)
+        let cycles = self.config.decrypt.fill_penalty(encrypted);
+        if encrypted > 0 {
+            self.emit(TraceEvent::Decrypt {
+                line_addr,
+                encrypted_words: encrypted,
+                cycles,
+            });
+        }
+        cycles
     }
 
     fn observe_commit(&mut self, pc: u32, word: u32, sequential: bool) -> Option<TamperEvent> {
@@ -318,6 +357,66 @@ mod tests {
         mon.observe_commit(BASE - 4, 0x7777_7777, false);
         assert_eq!(feed(&mut mon, &stream), None);
         assert_eq!(mon.checks_passed(), 1);
+    }
+
+    #[test]
+    fn sink_observes_window_and_check_events() {
+        let (config, stream) = guarded_stream(&[0x1111_2222, 0x3333_4444, 0x5555_6666]);
+        let (sink, recorder) = flexprot_trace::Recorder::new().shared();
+        let mut mon = SecMon::new(config);
+        mon.attach_sink(sink);
+        assert_eq!(feed(&mut mon, &stream), None);
+        let recorder = recorder.borrow();
+        let m = recorder.metrics();
+        assert_eq!(m.counter("guard_windows_opened"), 1);
+        assert_eq!(m.counter("guard_windows_closed"), 1);
+        assert_eq!(m.counter("guard_checks_passed"), mon.checks_passed());
+        assert_eq!(m.counter("guard_checks_failed"), 0);
+        assert!(recorder.first_failure().is_none());
+    }
+
+    #[test]
+    fn sink_attributes_guard_failure() {
+        let (config, mut stream) = guarded_stream(&[0x1111_2222, 0x3333_4444]);
+        stream[0].1 ^= 1 << 9;
+        let (sink, recorder) = flexprot_trace::Recorder::new().shared();
+        let mut mon = SecMon::new(config);
+        mon.attach_sink(sink);
+        assert!(feed(&mut mon, &stream).is_some());
+        let recorder = recorder.borrow();
+        assert_eq!(recorder.metrics().counter("guard_checks_failed"), 1);
+        assert!(matches!(
+            recorder.first_failure(),
+            Some(flexprot_trace::TraceEvent::GuardFail { .. })
+        ));
+    }
+
+    #[test]
+    fn sink_observes_decrypt_work() {
+        let regions = RegionTable::new(vec![EncRegion {
+            start: BASE,
+            end: BASE + 32,
+            key: 1,
+        }]);
+        let config = SecMonConfig {
+            regions,
+            decrypt: DecryptModel {
+                cycles_per_word: 2,
+                startup: 4,
+                pipelined: false,
+            },
+            ..SecMonConfig::transparent()
+        };
+        let (sink, recorder) = flexprot_trace::Recorder::new().shared();
+        let mut mon = SecMon::new(config);
+        mon.attach_sink(sink);
+        let charged = mon.fill_penalty(BASE, 8);
+        assert_eq!(mon.fill_penalty(BASE + 32, 8), 0);
+        let recorder = recorder.borrow();
+        let m = recorder.metrics();
+        assert_eq!(m.counter("decrypt_fills"), 1);
+        assert_eq!(m.counter("decrypted_words"), 8);
+        assert_eq!(m.counter("decrypt_unit_cycles"), charged);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The in-order CPU model and top-level [`Machine`].
 
 use flexprot_isa::{Image, Inst, Reg, STACK_TOP};
+use flexprot_trace::{SharedSink, TraceEvent};
 
 use crate::cache::{Cache, CacheConfig};
 use crate::mem::Memory;
@@ -101,6 +102,7 @@ pub struct Machine<M: FetchMonitor = NullMonitor> {
     monitor: M,
     text_base: u32,
     text_end: u32,
+    sink: Option<SharedSink>,
 }
 
 impl Machine<NullMonitor> {
@@ -137,7 +139,17 @@ impl<M: FetchMonitor> Machine<M> {
             monitor,
             text_base: image.text_base,
             text_end: image.text_end(),
+            sink: None,
         }
+    }
+
+    /// Attaches an observability sink; every fetch, cache fill, data
+    /// access and commit is reported to it, plus a final
+    /// [`TraceEvent::RunEnd`] carrying the authoritative [`Stats`]
+    /// counters. With no sink attached (the default) the hot path pays
+    /// one branch and timing is unchanged.
+    pub fn attach_sink(&mut self, sink: SharedSink) {
+        self.sink = Some(sink);
     }
 
     fn reg(&self, r: Reg) -> u32 {
@@ -158,6 +170,15 @@ impl<M: FetchMonitor> Machine<M> {
     /// Runs until exit, fault, tamper detection or fuel exhaustion.
     pub fn run(&mut self) -> RunResult {
         let outcome = self.run_inner();
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::RunEnd {
+                cycles: self.stats.cycles,
+                instructions: self.stats.instructions,
+                icache_misses: self.stats.icache_misses,
+                dcache_misses: self.stats.dcache_misses,
+                monitor_fill_cycles: self.stats.monitor_fill_cycles,
+            });
+        }
         RunResult {
             outcome,
             stats: self.stats.clone(),
@@ -179,6 +200,12 @@ impl<M: FetchMonitor> Machine<M> {
             self.stats.cycles += 1;
             self.stats.icache_accesses += 1;
             let access = self.icache.access(pc, false);
+            if let Some(sink) = &self.sink {
+                sink.emit(&TraceEvent::Fetch {
+                    pc,
+                    hit: access.hit,
+                });
+            }
             if !access.hit {
                 self.stats.icache_misses += 1;
                 let line_words = u64::from(self.config.icache.line_words());
@@ -190,6 +217,14 @@ impl<M: FetchMonitor> Machine<M> {
                     .fill_penalty(access.line_addr, line_words as u32);
                 self.stats.monitor_fill_cycles += penalty;
                 self.stats.cycles += penalty;
+                if let Some(sink) = &self.sink {
+                    sink.emit(&TraceEvent::IcacheFill {
+                        line_addr: access.line_addr,
+                        words: line_words as u32,
+                        fill_cycles: fill,
+                        decrypt_cycles: penalty,
+                    });
+                }
                 if self.config.profile {
                     *self.stats.imiss_counts.entry(access.line_addr).or_insert(0) += 1;
                 }
@@ -207,6 +242,9 @@ impl<M: FetchMonitor> Machine<M> {
                 return Outcome::TamperDetected(event);
             }
             self.stats.instructions += 1;
+            if let Some(sink) = &self.sink {
+                sink.emit(&TraceEvent::Commit { pc });
+            }
             if self.config.profile {
                 *self.stats.exec_counts.entry(pc).or_insert(0) += 1;
             }
@@ -237,6 +275,14 @@ impl<M: FetchMonitor> Machine<M> {
             self.stats.dcache_writebacks += 1;
             self.stats.cycles +=
                 self.config.burst_word_cycles * u64::from(self.config.dcache.line_words());
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::DataAccess {
+                addr,
+                write,
+                hit: access.hit,
+                writeback: access.writeback.is_some(),
+            });
         }
     }
 
@@ -737,6 +783,63 @@ skip:   nop
         // entry: not sequential; skip: reached by taken branch -> not
         // sequential; the rest sequential.
         assert_eq!(machine.monitor().0, vec![false, false, true, true, true]);
+    }
+
+    #[test]
+    fn attached_sink_reconciles_with_stats() {
+        let image = flexprot_asm::assemble_or_panic(
+            r#"
+        .data
+arr:    .word 1, 2, 3, 4
+        .text
+main:   li   $t0, 4
+        la   $t1, arr
+        li   $a0, 0
+loop:   lw   $t2, 0($t1)
+        addu $a0, $a0, $t2
+        addi $t1, $t1, 4
+        addi $t0, $t0, -1
+        bgtz $t0, loop
+        sw   $a0, 0($t1)
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        li   $a0, 0
+        syscall
+"#,
+        );
+        let baseline = Machine::new(&image, SimConfig::default()).run();
+
+        let (sink, recorder) = flexprot_trace::Recorder::new().shared();
+        let mut machine = Machine::new(&image, SimConfig::default());
+        machine.attach_sink(sink);
+        let traced = machine.run();
+
+        // Attaching a sink must not perturb timing or behaviour.
+        assert_eq!(traced.outcome, baseline.outcome);
+        assert_eq!(traced.output, baseline.output);
+        assert_eq!(traced.stats, baseline.stats);
+
+        // Event-derived counters agree exactly with the Stats counters.
+        let recorder = recorder.borrow();
+        let m = recorder.metrics();
+        assert_eq!(m.counter("icache_accesses"), traced.stats.icache_accesses);
+        assert_eq!(m.counter("icache_misses"), traced.stats.icache_misses);
+        assert_eq!(m.counter("dcache_accesses"), traced.stats.dcache_accesses);
+        assert_eq!(m.counter("dcache_misses"), traced.stats.dcache_misses);
+        assert_eq!(
+            m.counter("dcache_writebacks"),
+            traced.stats.dcache_writebacks
+        );
+        assert_eq!(
+            m.counter("instructions_committed"),
+            traced.stats.instructions
+        );
+        assert_eq!(m.counter("sim_cycles"), traced.stats.cycles);
+        assert_eq!(m.counter("sim_instructions"), traced.stats.instructions);
+        assert_eq!(m.counter("sim_icache_misses"), traced.stats.icache_misses);
+        let fills = m.histogram("icache_fill_cycles").unwrap();
+        assert_eq!(fills.count(), traced.stats.icache_misses);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Named counters and latency histograms.
+//!
+//! The registry is deliberately schema-free: producers bump counters by
+//! name and record latencies into named histograms, and the JSON emission
+//! (`flexprot-metrics-v1`) lists whatever was recorded. Consumers that
+//! need stability assert on the counter *names*, which are fixed by the
+//! [`crate::Recorder`] aggregation rules.
+
+use std::collections::BTreeMap;
+
+use crate::json::JsonObject;
+
+/// Schema tag stamped into every metrics document.
+pub const METRICS_SCHEMA: &str = "flexprot-metrics-v1";
+
+/// A log2-bucketed latency histogram.
+///
+/// Bucket `i` counts samples with `value.ilog2() == i` (bucket 0 also
+/// takes zeros), which is plenty of resolution for cycle-latency shapes
+/// while keeping the registry allocation-light.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value <= 1 {
+            0
+        } else {
+            (63 - value.leading_zeros()) as usize
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket counts, index `i` covering `[2^i, 2^(i+1))` (bucket 0 also
+    /// holds zeros and ones).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.num("count", self.count)
+            .num("sum", self.sum)
+            .num("max", self.max);
+        let buckets: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
+        obj.raw("log2_buckets", &format!("[{}]", buckets.join(",")));
+        obj.finish()
+    }
+}
+
+/// Registry of named counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the named counter to an absolute value.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        self.counters.insert(name, value);
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one latency sample into the named histogram.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(name, value)| (*name, *value))
+    }
+
+    /// Renders the `flexprot-metrics-v1` document.
+    pub fn to_json(&self) -> String {
+        let mut counters = JsonObject::new();
+        for (name, value) in &self.counters {
+            counters.num(name, *value);
+        }
+        let mut histograms = JsonObject::new();
+        for (name, histogram) in &self.histograms {
+            histograms.raw(name, &histogram.to_json());
+        }
+        let mut root = JsonObject::new();
+        root.str("schema", METRICS_SCHEMA)
+            .raw("counters", &counters.finish())
+            .raw("histograms", &histograms.finish());
+        root.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1049);
+        assert_eq!(h.max(), 1024);
+        // zeros+ones → bucket 0; 2,3 → bucket 1; 4..7 → bucket 2; 8 → 3; 1024 → 10.
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[1], 2);
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets()[3], 1);
+        assert_eq!(h.buckets()[10], 1);
+        assert!((h.mean() - 1049.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.add("a", 4);
+        m.set("b", 7);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("b"), 7);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn json_document_has_stable_schema() {
+        let mut m = Metrics::new();
+        m.add("cycles", 100);
+        m.observe("decrypt_stall_cycles", 20);
+        m.observe("decrypt_stall_cycles", 24);
+        let doc = m.to_json();
+        let value = json::parse(&doc).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(json::Value::as_str),
+            Some(METRICS_SCHEMA)
+        );
+        let counters = value.get("counters").unwrap();
+        assert_eq!(
+            counters.get("cycles").and_then(json::Value::as_u64),
+            Some(100)
+        );
+        let hist = value
+            .get("histograms")
+            .and_then(|h| h.get("decrypt_stall_cycles"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(json::Value::as_u64), Some(2));
+        assert_eq!(hist.get("sum").and_then(json::Value::as_u64), Some(44));
+    }
+}

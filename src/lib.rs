@@ -19,6 +19,7 @@
 //! | [`secmon`] | `flexprot-secmon` | the FPGA secure-monitor model |
 //! | [`core`] | `flexprot-core` | protection passes + budget optimizer |
 //! | [`attack`] | `flexprot-attack` | tamper attacks + detection harness |
+//! | [`trace`] | `flexprot-trace` | cycle-level observability: events, metrics, sinks |
 //! | [`verify`] | `flexprot-verify` | independent static verification (`fplint`) |
 //! | [`workloads`] | `flexprot-workloads` | embedded benchmark kernels |
 //!
@@ -56,5 +57,6 @@ pub use flexprot_core as core;
 pub use flexprot_isa as isa;
 pub use flexprot_secmon as secmon;
 pub use flexprot_sim as sim;
+pub use flexprot_trace as trace;
 pub use flexprot_verify as verify;
 pub use flexprot_workloads as workloads;

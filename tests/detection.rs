@@ -1,6 +1,6 @@
 //! Cross-crate integration: end-to-end attack/detection properties.
 
-use flexprot::attack::{evaluate, Attack};
+use flexprot::attack::{evaluate, Attack, DetectionCause};
 use flexprot::core::{protect, EncryptConfig, GuardConfig, ProtectionConfig};
 use flexprot::sim::{Machine, SimConfig};
 
@@ -183,6 +183,82 @@ fn detection_latency_is_recorded_and_bounded() {
         );
     }
     assert!(summary.detected > 0, "{summary:?}");
+}
+
+#[test]
+fn guard_detections_carry_guard_event_attribution() {
+    // Under guards-only protection every dynamic tamper detection must be
+    // *proved* by a guard event in the trace: the recorded cause is either
+    // a guard-signature mismatch or the spacing bound, never decrypt noise.
+    let workload = flexprot::workloads::by_name("rle").expect("kernel");
+    let image = workload.image();
+    let expected = workload.expected_output();
+    let base = Machine::new(&image, SimConfig::default()).run();
+    let guarded = protect(
+        &image,
+        &ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0)),
+        None,
+    )
+    .unwrap();
+    let summary = evaluate(
+        &guarded,
+        &expected,
+        Attack::BitFlip,
+        40,
+        2026,
+        &attack_sim(base.stats.instructions),
+    );
+    assert!(summary.detected > 0, "{summary:?}");
+    let guard_causes = summary.cause_count(DetectionCause::GuardFail)
+        + summary.cause_count(DetectionCause::SpacingBound);
+    assert_eq!(
+        guard_causes, summary.detected,
+        "every detection needs a guard event proving it: {summary:?}"
+    );
+    // Faulted trials (flips that crash before any check) carry fault
+    // attributions instead; together the causes cover every caught trial.
+    let fault_causes = summary.cause_count(DetectionCause::DecryptGarble)
+        + summary.cause_count(DetectionCause::WildControlFlow)
+        + summary.cause_count(DetectionCause::OtherFault);
+    assert_eq!(
+        guard_causes + fault_causes,
+        summary.detected + summary.faulted,
+        "{summary:?}"
+    );
+}
+
+#[test]
+fn ciphertext_tampering_is_attributed_to_decrypt_garble() {
+    // Under encryption-only protection there are no guards to fail; caught
+    // tampering manifests as scrambled instructions — decode faults
+    // (decrypt-garble) or wild control flow — never as guard events.
+    let workload = flexprot::workloads::by_name("bitcount").expect("kernel");
+    let image = workload.image();
+    let expected = workload.expected_output();
+    let base = Machine::new(&image, SimConfig::default()).run();
+    let enc = protect(
+        &image,
+        &ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xC0DE_D00D)),
+        None,
+    )
+    .unwrap();
+    let summary = evaluate(
+        &enc,
+        &expected,
+        Attack::CodeInject,
+        40,
+        2027,
+        &attack_sim(base.stats.instructions),
+    );
+    assert_eq!(summary.cause_count(DetectionCause::GuardFail), 0);
+    assert_eq!(summary.cause_count(DetectionCause::SpacingBound), 0);
+    let garble = summary.cause_count(DetectionCause::DecryptGarble)
+        + summary.cause_count(DetectionCause::WildControlFlow)
+        + summary.cause_count(DetectionCause::OtherFault);
+    assert!(
+        garble > 0,
+        "scrambled payloads must fault somewhere: {summary:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,269 @@
+//! Protection-matrix differential tests: every cell of the configuration
+//! grid must preserve program semantics exactly.
+//!
+//! Three MiniC kernels (8-queens, sieve of Eratosthenes, Collatz records)
+//! are checked against Rust reference implementations computed in-test,
+//! and three assembly workloads against their recorded reference outputs —
+//! each across {no protection, guards at two densities, encryption at all
+//! three keying granularities, guards+encryption}.
+
+use flexprot::core::{
+    protect, EncryptConfig, Granularity, GuardConfig, ProtectionConfig, Selection,
+};
+use flexprot::isa::Image;
+use flexprot::sim::{Outcome, SimConfig};
+
+const GUARD_KEY: u64 = 0x0BAD_C0DE_CAFE_F00D;
+const ENC_KEY: u64 = 0x5EED_5EED_5EED_5EED;
+
+/// The configuration grid every kernel is swept over.
+fn grid() -> Vec<(&'static str, ProtectionConfig)> {
+    let guards = |density: f64| GuardConfig {
+        key: GUARD_KEY,
+        ..GuardConfig::with_density(density)
+    };
+    let enc = |granularity: Granularity| EncryptConfig {
+        granularity,
+        ..EncryptConfig::whole_program(ENC_KEY)
+    };
+    vec![
+        ("none", ProtectionConfig::new()),
+        (
+            "guards d=0.25",
+            ProtectionConfig::new().with_guards(guards(0.25)),
+        ),
+        (
+            "guards d=1.0",
+            ProtectionConfig::new().with_guards(guards(1.0)),
+        ),
+        (
+            "enc program",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Program)),
+        ),
+        (
+            "enc function",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Function)),
+        ),
+        (
+            "enc block",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Block)),
+        ),
+        (
+            "guards+enc",
+            ProtectionConfig::new()
+                .with_guards(guards(1.0))
+                .with_encryption(enc(Granularity::Function)),
+        ),
+    ]
+}
+
+/// Runs `image` through every grid cell, asserting output and exit code
+/// match the reference.
+fn assert_matrix(name: &str, image: &Image, expected: &str) {
+    for (cell, config) in grid() {
+        let protected = protect(image, &config, None)
+            .unwrap_or_else(|e| panic!("{name}/{cell}: protect failed: {e}"));
+        let r = protected.run(SimConfig::default());
+        assert_eq!(
+            r.outcome,
+            Outcome::Exit(0),
+            "{name}/{cell}: wrong exit ({:?})",
+            r.outcome
+        );
+        assert_eq!(r.output, expected, "{name}/{cell}: output diverged");
+    }
+}
+
+fn compile(name: &str, source: &str) -> Image {
+    flexprot::cc::compile_to_image(source).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+// ---------------------------------------------------------------- 8-queens
+
+const QUEENS_C: &str = r#"
+int col[8];
+
+int solve(int row) {
+    if (row == 8) { return 1; }
+    int count = 0;
+    for (int c = 0; c < 8; c = c + 1) {
+        int ok = 1;
+        for (int r = 0; r < row; r = r + 1) {
+            int d = col[r] - c;
+            if (d < 0) { d = 0 - d; }
+            if (col[r] == c || d == row - r) { ok = 0; }
+        }
+        if (ok) {
+            col[row] = c;
+            count = count + solve(row + 1);
+        }
+    }
+    return count;
+}
+
+int main() { print(solve(0)); return 0; }
+"#;
+
+/// Rust reference: number of 8-queens placements.
+fn queens_ref() -> String {
+    fn solve(row: usize, cols: &mut [i32; 8]) -> u32 {
+        if row == 8 {
+            return 1;
+        }
+        let mut count = 0;
+        for c in 0..8i32 {
+            let safe = cols[..row]
+                .iter()
+                .enumerate()
+                .all(|(r, &qc)| qc != c && (qc - c).abs() != (row - r) as i32);
+            if safe {
+                cols[row] = c;
+                count += solve(row + 1, cols);
+            }
+        }
+        count
+    }
+    solve(0, &mut [0; 8]).to_string()
+}
+
+#[test]
+fn queens_matrix() {
+    let image = compile("queens", QUEENS_C);
+    assert_matrix("queens", &image, &queens_ref());
+}
+
+// ------------------------------------------------------------------ sieve
+
+const SIEVE_C: &str = r#"
+int flags[200];
+
+int main() {
+    int n = 200;
+    int count = 0;
+    int sum = 0;
+    for (int i = 2; i < n; i = i + 1) { flags[i] = 1; }
+    for (int i = 2; i < n; i = i + 1) {
+        if (flags[i]) {
+            count = count + 1;
+            sum = sum + i;
+            for (int j = i + i; j < n; j = j + i) { flags[j] = 0; }
+        }
+    }
+    print(count);
+    printc(32);
+    print(sum);
+    return 0;
+}
+"#;
+
+/// Rust reference: prime count and prime sum below 200.
+fn sieve_ref() -> String {
+    let n = 200usize;
+    let mut flags = vec![true; n];
+    let (mut count, mut sum) = (0u32, 0u32);
+    for i in 2..n {
+        if flags[i] {
+            count += 1;
+            sum += i as u32;
+            let mut j = i + i;
+            while j < n {
+                flags[j] = false;
+                j += i;
+            }
+        }
+    }
+    format!("{count} {sum}")
+}
+
+#[test]
+fn sieve_matrix() {
+    let image = compile("sieve", SIEVE_C);
+    assert_matrix("sieve", &image, &sieve_ref());
+}
+
+// ---------------------------------------------------------------- collatz
+
+const COLLATZ_C: &str = r#"
+int steps(int n) {
+    int s = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        s = s + 1;
+    }
+    return s;
+}
+
+int main() {
+    int best = 0;
+    int arg = 1;
+    for (int i = 1; i <= 120; i = i + 1) {
+        int s = steps(i);
+        if (s > best) { best = s; arg = i; }
+    }
+    print(arg);
+    printc(32);
+    print(best);
+    return 0;
+}
+"#;
+
+/// Rust reference: the 1..=120 Collatz record holder and its step count.
+fn collatz_ref() -> String {
+    let steps = |mut n: u64| {
+        let mut s = 0u32;
+        while n != 1 {
+            n = if n.is_multiple_of(2) { n / 2 } else { 3 * n + 1 };
+            s += 1;
+        }
+        s
+    };
+    let (mut best, mut arg) = (0, 1);
+    for i in 1..=120u64 {
+        let s = steps(i);
+        if s > best {
+            best = s;
+            arg = i;
+        }
+    }
+    format!("{arg} {best}")
+}
+
+#[test]
+fn collatz_matrix() {
+    let image = compile("collatz", COLLATZ_C);
+    assert_matrix("collatz", &image, &collatz_ref());
+}
+
+// ------------------------------------------------- assembly workloads
+
+#[test]
+fn assembly_workload_matrix() {
+    for name in ["rle", "bitcount", "fir"] {
+        let workload = flexprot::workloads::by_name(name).expect("kernel");
+        let image = workload.image();
+        assert_matrix(name, &image, &workload.expected_output());
+    }
+}
+
+// The grid itself must exercise distinct selections (guard against a
+// refactor collapsing cells into duplicates).
+#[test]
+fn grid_cells_are_distinct() {
+    let cells = grid();
+    assert_eq!(cells.len(), 7);
+    let selections: Vec<String> = cells.iter().map(|(_, c)| format!("{c:?}")).collect();
+    for (i, a) in selections.iter().enumerate() {
+        for b in &selections[i + 1..] {
+            assert_ne!(a, b);
+        }
+    }
+    let densities: Vec<f64> = cells
+        .iter()
+        .filter_map(|(_, c)| c.guards.as_ref())
+        .map(|g| match g.selection {
+            Selection::Density(d) => d,
+            _ => unreachable!("grid uses density selection"),
+        })
+        .collect();
+    assert!(densities.contains(&0.25) && densities.contains(&1.0));
+}
