@@ -20,7 +20,8 @@ echo "== observability smoke: fprun --metrics schema =="
 # metrics emission and check the document parses with its stable schema
 # keys intact.
 OBS_DIR=$(mktemp -d)
-trap 'rm -rf "$OBS_DIR"' EXIT
+EXEC_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR" "$EXEC_DIR"' EXIT
 cat > "$OBS_DIR/smoke.s" <<'EOF'
 main:   li   $s0, 10
         li   $s1, 0
@@ -53,5 +54,34 @@ grep -q '"ev":"run_end"' "$OBS_DIR/smoke.trace.jsonl" || {
     echo "trace missing run_end event"; exit 1;
 }
 echo "metrics schema OK"
+
+echo "== exec engine: parallel determinism =="
+# The batched execution engine guarantees that a sweep's tables, CSVs and
+# aggregate metrics are byte-identical whatever the worker count, and that
+# the artifact cache actually shares work between cells.
+cargo run --quiet --release -p flexprot-bench --bin experiments -- \
+    --quick --jobs 1 --csv "$EXEC_DIR/serial" \
+    --metrics "$EXEC_DIR/serial.metrics.json" \
+    > "$EXEC_DIR/serial.tables.txt" 2> /dev/null
+cargo run --quiet --release -p flexprot-bench --bin experiments -- \
+    --quick --jobs 4 --csv "$EXEC_DIR/parallel" \
+    --metrics "$EXEC_DIR/parallel.metrics.json" \
+    > "$EXEC_DIR/parallel.tables.txt" 2> /dev/null
+diff -u "$EXEC_DIR/serial.tables.txt" "$EXEC_DIR/parallel.tables.txt" || {
+    echo "tables differ between --jobs 1 and --jobs 4"; exit 1;
+}
+diff -u "$EXEC_DIR/serial.metrics.json" "$EXEC_DIR/parallel.metrics.json" || {
+    echo "metrics differ between --jobs 1 and --jobs 4"; exit 1;
+}
+diff -ru "$EXEC_DIR/serial" "$EXEC_DIR/parallel" || {
+    echo "CSV output differs between --jobs 1 and --jobs 4"; exit 1;
+}
+grep -Eq '"exec_cache_hits":[1-9]' "$EXEC_DIR/serial.metrics.json" || {
+    echo "artifact cache recorded no hits"; exit 1;
+}
+grep -Eq '"exec_cache_misses":[1-9]' "$EXEC_DIR/serial.metrics.json" || {
+    echo "artifact cache recorded no misses"; exit 1;
+}
+echo "parallel determinism OK"
 
 echo "CI OK"

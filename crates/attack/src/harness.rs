@@ -4,9 +4,9 @@ use std::collections::BTreeMap;
 
 use flexprot_core::Protected;
 use flexprot_isa::{Image, Rng64};
-use flexprot_secmon::SecMonConfig;
-use flexprot_sim::{Fault, Outcome, SimConfig};
-use flexprot_trace::{Recorder, TraceEvent};
+use flexprot_secmon::{SecMon, SecMonConfig};
+use flexprot_sim::{Fault, Machine, Outcome, RunResult, SimConfig};
+use flexprot_trace::{Metrics, Recorder, TraceEvent};
 
 use crate::attacks::Attack;
 
@@ -166,6 +166,33 @@ impl AttackSummary {
         self.causes.get(&cause).copied().unwrap_or(0)
     }
 
+    /// Exports the outcome tallies into a metrics registry under stable
+    /// `attack_*` counter names, plus every detection latency as an
+    /// `attack_detection_latency` histogram observation. Additive, so
+    /// repeated exports from per-cell summaries aggregate cleanly.
+    pub fn export_metrics(&self, metrics: &mut Metrics) {
+        metrics.add("attack_trials_applied", u64::from(self.applied));
+        metrics.add("attack_detected", u64::from(self.detected));
+        metrics.add("attack_faulted", u64::from(self.faulted));
+        metrics.add("attack_wrong_output", u64::from(self.wrong_output));
+        metrics.add("attack_benign", u64::from(self.benign));
+        metrics.add("attack_timeout", u64::from(self.timeout));
+        metrics.add("attack_static_detected", u64::from(self.static_detected));
+        for (cause, count) in &self.causes {
+            let name = match cause {
+                DetectionCause::GuardFail => "attack_cause_guard_fail",
+                DetectionCause::SpacingBound => "attack_cause_spacing_bound",
+                DetectionCause::DecryptGarble => "attack_cause_decrypt_garble",
+                DetectionCause::WildControlFlow => "attack_cause_wild_control_flow",
+                DetectionCause::OtherFault => "attack_cause_other_fault",
+            };
+            metrics.add(name, u64::from(*count));
+        }
+        for &latency in &self.latencies {
+            metrics.observe("attack_detection_latency", latency);
+        }
+    }
+
     fn record(&mut self, outcome: TrialOutcome, static_flagged: bool) {
         self.record_caused(outcome, static_flagged, None);
     }
@@ -242,6 +269,17 @@ fn classify(
 ) -> (TrialOutcome, Option<DetectionCause>) {
     let (sink, recorder) = Recorder::new().shared();
     let result = mutated.run_traced(sim.clone(), &sink);
+    let first_failure = recorder.borrow().first_failure();
+    classify_result(&result, first_failure, expected_output)
+}
+
+/// Classifies a finished attacked run from its result and the first
+/// monitor failure event the trial's recorder captured.
+fn classify_result(
+    result: &RunResult,
+    first_failure: Option<TraceEvent>,
+    expected_output: &str,
+) -> (TrialOutcome, Option<DetectionCause>) {
     let outcome = match result.outcome {
         Outcome::TamperDetected(_) => TrialOutcome::Detected {
             latency_instrs: result.stats.instructions,
@@ -254,7 +292,7 @@ fn classify(
     let cause = match &result.outcome {
         // A tamper detection is proven by the monitor's own failure
         // event, recorded during the run.
-        Outcome::TamperDetected(_) => Some(match recorder.borrow().first_failure() {
+        Outcome::TamperDetected(_) => Some(match first_failure {
             Some(TraceEvent::SpacingExceeded { .. }) => DetectionCause::SpacingBound,
             _ => DetectionCause::GuardFail,
         }),
@@ -270,6 +308,11 @@ fn classify(
 ///
 /// The fuel limit in `sim` should be modest (attacked binaries can loop);
 /// a few times the baseline instruction count works well.
+///
+/// One simulator [`Machine`] is re-armed across trials (its page table
+/// and cache arrays are reused), which matters when an engine batches
+/// hundreds of attack cells; the classification is identical to running
+/// each trial on a fresh machine.
 pub fn evaluate(
     protected: &Protected,
     expected_output: &str,
@@ -280,6 +323,7 @@ pub fn evaluate(
 ) -> AttackSummary {
     let mut rng = Rng64::new(seed);
     let mut summary = AttackSummary::default();
+    let mut machine: Option<Machine<SecMon>> = None;
     for _ in 0..trials {
         let mut mutated = protected.clone();
         if !attack.apply(&mut mutated.image, &mut rng) {
@@ -287,7 +331,17 @@ pub fn evaluate(
             continue;
         }
         let flagged = static_detects(&mutated.image, &mutated.secmon);
-        let (outcome, cause) = classify(&mutated, expected_output, sim);
+        match machine.as_mut() {
+            Some(m) => mutated.rearm(m),
+            None => machine = Some(mutated.machine(sim.clone())),
+        }
+        let m = machine.as_mut().expect("machine built on first trial");
+        let (sink, recorder) = Recorder::new().shared();
+        m.monitor_mut().attach_sink(sink.clone());
+        m.attach_sink(sink);
+        let result = m.run();
+        let first_failure = recorder.borrow().first_failure();
+        let (outcome, cause) = classify_result(&result, first_failure, expected_output);
         summary.record_caused(outcome, flagged, cause);
     }
     summary
@@ -493,6 +547,59 @@ loop:   addu $s0, $s0, $t0
                 + summary.cause_count(DetectionCause::OtherFault)
                 > 0,
             "{summary:?}"
+        );
+    }
+
+    #[test]
+    fn machine_reuse_matches_fresh_machine_per_trial() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let reused = evaluate(&protected, &expected, Attack::BitFlip, 30, 9, &fast_sim());
+        // Replay the identical trial stream, but classify each mutation on
+        // a freshly constructed machine.
+        let mut rng = Rng64::new(9);
+        let mut fresh = AttackSummary::default();
+        for _ in 0..30 {
+            let mut mutated = protected.clone();
+            if !Attack::BitFlip.apply(&mut mutated.image, &mut rng) {
+                fresh.record(TrialOutcome::Inapplicable, false);
+                continue;
+            }
+            let flagged = static_detects(&mutated.image, &mutated.secmon);
+            let (outcome, cause) = classify(&mutated, &expected, &fast_sim());
+            fresh.record_caused(outcome, flagged, cause);
+        }
+        assert_eq!(reused, fresh, "re-arming must not change classification");
+        assert!(reused.applied > 0);
+    }
+
+    #[test]
+    fn export_metrics_mirrors_the_tallies() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let summary = evaluate(&protected, &expected, Attack::BitFlip, 40, 7, &fast_sim());
+        let mut metrics = Metrics::new();
+        summary.export_metrics(&mut metrics);
+        assert_eq!(
+            metrics.counter("attack_trials_applied"),
+            u64::from(summary.applied)
+        );
+        assert_eq!(
+            metrics.counter("attack_detected"),
+            u64::from(summary.detected)
+        );
+        let histogram = metrics
+            .histogram("attack_detection_latency")
+            .expect("latency histogram");
+        assert_eq!(histogram.count(), summary.latencies.len() as u64);
+        assert_eq!(histogram.sum(), summary.latency_sum);
+        // Exporting twice doubles the counters (additive contract).
+        summary.export_metrics(&mut metrics);
+        assert_eq!(
+            metrics.counter("attack_trials_applied"),
+            2 * u64::from(summary.applied)
         );
     }
 

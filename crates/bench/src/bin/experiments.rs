@@ -4,20 +4,30 @@
 //! cargo run --release -p flexprot-bench --bin experiments [-- OPTIONS]
 //!
 //! Options:
-//!   --quick        reduced workloads/trials (CI smoke run)
-//!   --only <ID>    run a single experiment (T1..T6, F1..F6)
-//!   --csv <DIR>    additionally write one CSV per table into DIR
+//!   --quick           reduced workloads/trials (CI smoke run)
+//!   --only <ID>       run a single experiment (T1..T6, F1..F6)
+//!   --jobs <N>        worker threads (default: FLEXPROT_JOBS or CPU count)
+//!   --csv <DIR>       write one CSV per table into DIR (default: results)
+//!   --no-csv          skip CSV output
+//!   --metrics <PATH>  write the engine's aggregate metrics JSON to PATH
 //! ```
+//!
+//! Tables go to stdout; timing and engine summaries go to stderr, so
+//! stdout is diff-clean across `--jobs` values (the engine guarantees
+//! identical tables and metrics whatever the worker count).
 
 use std::io::Write;
 
 use flexprot_bench::{Params, Table};
+use flexprot_exec::Engine;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut only: Option<String> = None;
-    let mut csv_dir: Option<String> = None;
+    let mut csv_dir: Option<String> = Some("results".to_owned());
+    let mut jobs: Option<usize> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,11 +40,28 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args.get(i).and_then(|v| v.parse().ok());
+                if jobs.is_none() {
+                    eprintln!("--jobs requires a worker count");
+                    std::process::exit(2);
+                }
+            }
             "--csv" => {
                 i += 1;
                 csv_dir = args.get(i).cloned();
                 if csv_dir.is_none() {
                     eprintln!("--csv requires a directory");
+                    std::process::exit(2);
+                }
+            }
+            "--no-csv" => csv_dir = None,
+            "--metrics" => {
+                i += 1;
+                metrics_path = args.get(i).cloned();
+                if metrics_path.is_none() {
+                    eprintln!("--metrics requires a path");
                     std::process::exit(2);
                 }
             }
@@ -47,7 +74,11 @@ fn main() {
     }
 
     let params = Params { quick };
-    type Runner = fn(&Params) -> Table;
+    let engine = match jobs {
+        Some(n) => Engine::new(n),
+        None => Engine::with_default_jobs(),
+    };
+    type Runner = fn(&Params, &Engine) -> Table;
     let experiments: Vec<(&str, Runner)> = vec![
         ("T1", flexprot_bench::t1_characterize as Runner),
         ("T2", flexprot_bench::t2_size_overhead),
@@ -63,6 +94,7 @@ fn main() {
         ("F6", flexprot_bench::f6_latency),
     ];
 
+    let wall = std::time::Instant::now();
     for (id, run) in experiments {
         if let Some(ref filter) = only {
             if !filter.eq_ignore_ascii_case(id) {
@@ -70,16 +102,29 @@ fn main() {
             }
         }
         let start = std::time::Instant::now();
-        let table = run(&params);
+        let table = run(&params, &engine);
         println!("{table}");
-        println!("({id} finished in {:.1}s)\n", start.elapsed().as_secs_f64());
+        eprintln!("({id} finished in {:.1}s)", start.elapsed().as_secs_f64());
         if let Some(ref dir) = csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = format!("{dir}/{}.csv", id.to_lowercase());
-            let mut file = std::fs::File::create(&path).expect("create csv");
-            file.write_all(table.to_csv().as_bytes())
-                .expect("write csv");
-            eprintln!("wrote {path}");
+            let path = table.save_csv(dir).expect("write csv");
+            eprintln!("wrote {}", path.display());
         }
+    }
+
+    let stats = engine.cache().stats();
+    eprintln!(
+        "engine: {} workers, {} jobs, cache {} hits / {} misses, {:.1}s total",
+        engine.workers(),
+        engine.metrics().counter("exec_jobs_completed"),
+        stats.hits,
+        stats.misses,
+        wall.elapsed().as_secs_f64()
+    );
+    if let Some(path) = metrics_path {
+        let mut file = std::fs::File::create(&path).expect("create metrics file");
+        file.write_all(engine.metrics().to_json().as_bytes())
+            .expect("write metrics");
+        file.write_all(b"\n").expect("write metrics");
+        eprintln!("wrote {path}");
     }
 }

@@ -19,23 +19,30 @@
 //! | T6 | static stealth metrics |
 //! | F6 | detection-latency distribution |
 //!
+//! Every runner takes a shared [`Engine`]: its grid cells fan out over the
+//! engine's worker pool, compiled images / profiled baselines / protected
+//! binaries come from the engine's [artifact cache](flexprot_exec::ArtifactCache),
+//! and per-cell trace metrics merge into the engine's aggregate document.
+//! Tables and the aggregate metrics are byte-identical whatever the worker
+//! count.
+//!
 //! Run them all with `cargo run --release -p flexprot-bench --bin
-//! experiments` (add `--quick` for a fast subset).
+//! experiments` (add `--quick` for a fast subset, `--jobs N` to size the
+//! worker pool).
 
 pub mod micro;
 pub mod table;
 
-use flexprot_attack::{evaluate, Attack};
+use flexprot_attack::{Attack, AttackSummary};
 use flexprot_core::{
-    optimize, protect, EncryptConfig, GuardConfig, OptimizerConfig, Placement, Profile, Protected,
-    ProtectionConfig, Selection,
+    optimize, EncryptConfig, GuardConfig, OptimizerConfig, Placement, ProtectionConfig, Selection,
 };
-use flexprot_isa::Image;
+use flexprot_exec::{AttackSpec, Engine, Job};
 use flexprot_secmon::DecryptModel;
-use flexprot_sim::{CacheConfig, Machine, Outcome, RunResult, SimConfig};
-use flexprot_trace::Recorder;
+use flexprot_sim::{CacheConfig, SimConfig};
 use flexprot_workloads::Workload;
 
+pub use flexprot_exec::{Baseline, CycleBreakdown};
 pub use table::Table;
 
 /// Master keys used across experiments (fixed for reproducibility).
@@ -95,39 +102,6 @@ impl Params {
     }
 }
 
-/// A workload's baseline artifacts, shared by several experiments.
-pub struct Baseline {
-    /// The unprotected image.
-    pub image: Image,
-    /// Its clean run under `sim`.
-    pub run: RunResult,
-    /// Its execution profile.
-    pub profile: Profile,
-}
-
-/// Runs the unprotected baseline with profiling.
-///
-/// # Panics
-///
-/// Panics when the workload does not exit cleanly with its reference
-/// output — the substrate would be broken.
-pub fn baseline(workload: &Workload, sim: &SimConfig) -> Baseline {
-    let image = workload.image();
-    let (profile, run) = Profile::collect(&image, sim);
-    assert_eq!(run.outcome, Outcome::Exit(0), "{} crashed", workload.name);
-    assert_eq!(
-        run.output,
-        workload.expected_output(),
-        "{} output mismatch",
-        workload.name
-    );
-    Baseline {
-        image,
-        run,
-        profile,
-    }
-}
-
 /// Relative overhead in percent.
 pub fn overhead_pct(base_cycles: u64, cycles: u64) -> f64 {
     (cycles as f64 - base_cycles as f64) / base_cycles as f64 * 100.0
@@ -135,71 +109,6 @@ pub fn overhead_pct(base_cycles: u64, cycles: u64) -> f64 {
 
 fn fmt_pct(v: f64) -> String {
     format!("{v:.2}")
-}
-
-/// Protects and runs, asserting semantic preservation.
-fn run_protected(workload: &Workload, protected: &Protected, sim: &SimConfig) -> RunResult {
-    let result = protected.run(sim.clone());
-    assert_eq!(
-        result.outcome,
-        Outcome::Exit(0),
-        "{} failed under protection",
-        workload.name
-    );
-    assert_eq!(
-        result.output,
-        workload.expected_output(),
-        "{} output corrupted by protection",
-        workload.name
-    );
-    result
-}
-
-/// Cycle components of one run, read from the trace histograms: the pure
-/// memory miss path versus the stall attributable to the decrypt unit.
-#[derive(Debug, Clone, Copy)]
-pub struct CycleBreakdown {
-    /// Cycles spent on I-cache line fills (memory latency + burst), before
-    /// any monitor penalty.
-    pub miss_fill_cycles: u64,
-    /// Extra fill cycles charged by the secure monitor's decrypt unit.
-    pub decrypt_stall_cycles: u64,
-}
-
-/// Runs a protected image with a [`Recorder`] attached and splits its
-/// cycles into miss-path and decrypt-stall components (histogram sums).
-///
-/// Asserts semantic preservation like [`run_protected`].
-fn run_protected_traced(
-    workload: &Workload,
-    protected: &Protected,
-    sim: &SimConfig,
-) -> (RunResult, CycleBreakdown) {
-    let (sink, recorder) = Recorder::new().shared();
-    let result = protected.run_traced(sim.clone(), &sink);
-    assert_eq!(
-        result.outcome,
-        Outcome::Exit(0),
-        "{} failed under protection",
-        workload.name
-    );
-    assert_eq!(
-        result.output,
-        workload.expected_output(),
-        "{} output corrupted by protection",
-        workload.name
-    );
-    let recorder = recorder.borrow();
-    let metrics = recorder.metrics();
-    let breakdown = CycleBreakdown {
-        miss_fill_cycles: metrics
-            .histogram("icache_fill_cycles")
-            .map_or(0, |h| h.sum()),
-        decrypt_stall_cycles: metrics
-            .histogram("decrypt_stall_cycles")
-            .map_or(0, |h| h.sum()),
-    };
-    (result, breakdown)
 }
 
 fn guard_config(density: f64, placement: Placement) -> GuardConfig {
@@ -213,7 +122,7 @@ fn guard_config(density: f64, placement: Placement) -> GuardConfig {
 }
 
 /// T1 — workload characterization.
-pub fn t1_characterize(params: &Params) -> Table {
+pub fn t1_characterize(params: &Params, engine: &Engine) -> Table {
     let sim = SimConfig::default();
     let mut table = Table::new(
         "T1",
@@ -229,9 +138,9 @@ pub fn t1_characterize(params: &Params) -> Table {
             "dcache-miss%",
         ],
     );
-    for w in params.workloads() {
-        let b = baseline(&w, &sim);
-        table.push(vec![
+    let rows = engine.run_jobs(&params.workloads(), |ctx, w| {
+        let b = ctx.baseline(w, &sim);
+        vec![
             w.name.to_owned(),
             b.image.text.len().to_string(),
             b.image.data.len().to_string(),
@@ -240,15 +149,20 @@ pub fn t1_characterize(params: &Params) -> Table {
             format!("{:.3}", b.run.stats.cpi()),
             format!("{:.3}", b.run.stats.icache_miss_rate() * 100.0),
             format!("{:.3}", b.run.stats.dcache_miss_rate() * 100.0),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     table
 }
 
 /// T2 — static code-size overhead vs guard density.
-pub fn t2_size_overhead(params: &Params) -> Table {
+pub fn t2_size_overhead(params: &Params, engine: &Engine) -> Table {
+    let workloads = params.workloads();
+    let densities = params.densities();
     let mut headers = vec!["workload".to_owned(), "words".to_owned()];
-    for d in params.densities() {
+    for d in &densities {
         headers.push(format!("+%@d={d}"));
     }
     let mut table = Table::with_headers(
@@ -256,24 +170,32 @@ pub fn t2_size_overhead(params: &Params) -> Table {
         "Static code-size overhead (%) vs guard density",
         headers,
     );
-    for w in params.workloads() {
-        let image = w.image();
-        let mut row = vec![w.name.to_owned(), image.text.len().to_string()];
-        for d in params.densities() {
+    let mut jobs = Vec::new();
+    for &w in &workloads {
+        for &d in &densities {
             let config = ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
-            let protected = protect(&image, &config, None).expect("protect");
-            row.push(fmt_pct(protected.report.size_overhead_fraction() * 100.0));
+            jobs.push(Job::new(w, config));
         }
+    }
+    let cells = engine.run_jobs(&jobs, |ctx, job| {
+        let protected = ctx.protected(job).expect("protect");
+        fmt_pct(protected.report.size_overhead_fraction() * 100.0)
+    });
+    for (w, chunk) in workloads.iter().zip(cells.chunks(densities.len())) {
+        let words = engine.cache().image(w).text.len();
+        let mut row = vec![w.name.to_owned(), words.to_string()];
+        row.extend(chunk.iter().cloned());
         table.push(row);
     }
     table
 }
 
 /// F1 — runtime overhead vs guard density.
-pub fn f1_guard_density(params: &Params) -> Table {
-    let sim = SimConfig::default();
+pub fn f1_guard_density(params: &Params, engine: &Engine) -> Table {
+    let workloads = params.workloads();
+    let densities = params.densities();
     let mut headers = vec!["workload".to_owned()];
-    for d in params.densities() {
+    for d in &densities {
         headers.push(format!("+%@d={d}"));
     }
     let mut table = Table::with_headers(
@@ -281,28 +203,36 @@ pub fn f1_guard_density(params: &Params) -> Table {
         "Runtime overhead (%) vs guard density (guards only, uniform placement)",
         headers,
     );
-    for w in params.workloads() {
-        let b = baseline(&w, &sim);
-        let mut row = vec![w.name.to_owned()];
-        for d in params.densities() {
+    let mut jobs = Vec::new();
+    for &w in &workloads {
+        for &d in &densities {
             let config = ProtectionConfig::new().with_guards(guard_config(d, Placement::Uniform));
-            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
-            let r = run_protected(&w, &protected, &sim);
-            row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
+            jobs.push(Job::new(w, config).profiled());
         }
+    }
+    let cells = engine.run_jobs(&jobs, |ctx, job| fmt_pct(ctx.run_cell(job).overhead_pct()));
+    for (w, chunk) in workloads.iter().zip(cells.chunks(densities.len())) {
+        let mut row = vec![w.name.to_owned()];
+        row.extend(chunk.iter().cloned());
         table.push(row);
     }
     table
 }
 
 /// F2 — runtime overhead vs decrypt latency (whole-program encryption).
-pub fn f2_decrypt_latency(params: &Params) -> Table {
-    let sim = SimConfig::default();
+pub fn f2_decrypt_latency(params: &Params, engine: &Engine) -> Table {
+    let workloads = params.workloads();
     let cpws: &[u64] = if params.quick {
         &[2, 8]
     } else {
         &[0, 1, 2, 4, 8]
     };
+    let mut specs = Vec::new();
+    for &cpw in cpws {
+        for pipelined in [false, true] {
+            specs.push((cpw, pipelined));
+        }
+    }
     let mut headers = vec!["workload".to_owned()];
     for &c in cpws {
         headers.push(format!("serial@{c}"));
@@ -321,38 +251,47 @@ pub fn f2_decrypt_latency(params: &Params) -> Table {
         "Runtime overhead (%) vs decrypt cycles/word (whole-program encryption)",
         headers,
     );
-    for w in params.workloads() {
-        let b = baseline(&w, &sim);
-        let mut row = vec![w.name.to_owned()];
-        let mut breakdown = Vec::new();
-        for &cpw in cpws {
-            for pipelined in [false, true] {
-                let model = DecryptModel {
-                    cycles_per_word: cpw,
-                    startup: 4,
-                    pipelined,
-                };
-                let enc = EncryptConfig {
-                    model,
-                    ..EncryptConfig::whole_program(ENC_KEY)
-                };
-                let config = ProtectionConfig::new().with_encryption(enc);
-                let protected = protect(&b.image, &config, None).expect("protect");
-                let (r, split) = run_protected_traced(&w, &protected, &sim);
-                row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
-                let base = b.run.stats.cycles as f64;
-                breakdown.push(fmt_pct(split.decrypt_stall_cycles as f64 / base * 100.0));
-                breakdown.push(fmt_pct(split.miss_fill_cycles as f64 / base * 100.0));
-            }
+    let mut jobs = Vec::new();
+    for &w in &workloads {
+        for &(cpw, pipelined) in &specs {
+            let model = DecryptModel {
+                cycles_per_word: cpw,
+                startup: 4,
+                pipelined,
+            };
+            let enc = EncryptConfig {
+                model,
+                ..EncryptConfig::whole_program(ENC_KEY)
+            };
+            jobs.push(Job::new(w, ProtectionConfig::new().with_encryption(enc)));
         }
-        row.extend(breakdown);
+    }
+    let cells = engine.run_jobs(&jobs, |ctx, job| {
+        let cell = ctx.run_cell(job);
+        let base = cell.baseline.run.stats.cycles as f64;
+        (
+            fmt_pct(cell.overhead_pct()),
+            fmt_pct(cell.breakdown.decrypt_stall_cycles as f64 / base * 100.0),
+            fmt_pct(cell.breakdown.miss_fill_cycles as f64 / base * 100.0),
+        )
+    });
+    for (w, chunk) in workloads.iter().zip(cells.chunks(specs.len())) {
+        let mut row = vec![w.name.to_owned()];
+        for (overhead, _, _) in chunk {
+            row.push(overhead.clone());
+        }
+        for (_, dstall, miss) in chunk {
+            row.push(dstall.clone());
+            row.push(miss.clone());
+        }
         table.push(row);
     }
     table
 }
 
 /// F3 — runtime overhead of encryption vs I-cache size.
-pub fn f3_icache_sweep(params: &Params) -> Table {
+pub fn f3_icache_sweep(params: &Params, engine: &Engine) -> Table {
+    let workloads = params.workloads();
     let sizes: &[u32] = if params.quick {
         &[256, 4096]
     } else {
@@ -373,9 +312,9 @@ pub fn f3_icache_sweep(params: &Params) -> Table {
         "Encryption overhead (%) and baseline miss rate vs I-cache size",
         headers,
     );
-    for w in params.workloads() {
-        let mut row = vec![w.name.to_owned()];
-        let mut breakdown = Vec::new();
+    let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY));
+    let mut jobs = Vec::new();
+    for &w in &workloads {
         for &size in sizes {
             let sim = SimConfig {
                 icache: CacheConfig {
@@ -385,18 +324,29 @@ pub fn f3_icache_sweep(params: &Params) -> Table {
                 },
                 ..SimConfig::default()
             };
-            let b = baseline(&w, &sim);
-            let config =
-                ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY));
-            let protected = protect(&b.image, &config, None).expect("protect");
-            let (r, split) = run_protected_traced(&w, &protected, &sim);
-            row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
-            row.push(format!("{:.3}", b.run.stats.icache_miss_rate() * 100.0));
-            let base = b.run.stats.cycles as f64;
-            breakdown.push(fmt_pct(split.decrypt_stall_cycles as f64 / base * 100.0));
-            breakdown.push(fmt_pct(split.miss_fill_cycles as f64 / base * 100.0));
+            jobs.push(Job::new(w, config.clone()).with_sim(sim));
         }
-        row.extend(breakdown);
+    }
+    let cells = engine.run_jobs(&jobs, |ctx, job| {
+        let cell = ctx.run_cell(job);
+        let base = cell.baseline.run.stats.cycles as f64;
+        (
+            fmt_pct(cell.overhead_pct()),
+            format!("{:.3}", cell.baseline.run.stats.icache_miss_rate() * 100.0),
+            fmt_pct(cell.breakdown.decrypt_stall_cycles as f64 / base * 100.0),
+            fmt_pct(cell.breakdown.miss_fill_cycles as f64 / base * 100.0),
+        )
+    });
+    for (w, chunk) in workloads.iter().zip(cells.chunks(sizes.len())) {
+        let mut row = vec![w.name.to_owned()];
+        for (overhead, miss_rate, _, _) in chunk {
+            row.push(overhead.clone());
+            row.push(miss_rate.clone());
+        }
+        for (_, _, dstall, fill) in chunk {
+            row.push(dstall.clone());
+            row.push(fill.clone());
+        }
         table.push(row);
     }
     table
@@ -424,7 +374,8 @@ pub fn t3_configs() -> Vec<(&'static str, ProtectionConfig)> {
 }
 
 /// T3 — tamper-detection coverage matrix.
-pub fn t3_detection(params: &Params) -> Table {
+pub fn t3_detection(params: &Params, engine: &Engine) -> Table {
+    let attack_workloads = params.attack_workloads();
     let mut table = Table::new(
         "T3",
         "Tamper-detection coverage (aggregated over attack workloads)",
@@ -441,47 +392,47 @@ pub fn t3_detection(params: &Params) -> Table {
             "mean-latency",
         ],
     );
+    let mut labels = Vec::new();
+    let mut jobs = Vec::new();
     for (config_name, config) in t3_configs() {
         for attack in Attack::all() {
-            let mut agg = flexprot_attack::AttackSummary::default();
-            for w in params.attack_workloads() {
-                let image = w.image();
-                let base = Machine::new(&image, SimConfig::default()).run();
-                let protected = protect(&image, &config, None).expect("protect");
-                let sim = SimConfig {
-                    max_instructions: base.stats.instructions * 4 + 10_000,
-                    ..SimConfig::default()
-                };
-                let s = evaluate(
-                    &protected,
-                    &w.expected_output(),
+            labels.push((config_name, attack));
+            for &w in &attack_workloads {
+                jobs.push(Job::new(w, config.clone()).with_attack(AttackSpec {
                     attack,
-                    params.trials(),
-                    0xA77A_C4E5,
-                    &sim,
-                );
-                agg.merge(&s);
+                    trials: params.trials(),
+                    seed: 0xA77A_C4E5,
+                }));
             }
-            table.push(vec![
-                config_name.to_owned(),
-                attack.name().to_owned(),
-                agg.applied.to_string(),
-                agg.detected.to_string(),
-                agg.faulted.to_string(),
-                agg.wrong_output.to_string(),
-                agg.benign.to_string(),
-                fmt_pct(agg.detection_rate() * 100.0),
-                fmt_pct(agg.attacker_success_rate() * 100.0),
-                agg.mean_latency()
-                    .map_or_else(|| "-".to_owned(), |l| format!("{l:.0}")),
-            ]);
         }
+    }
+    let summaries = engine.run_jobs(&jobs, |ctx, job| ctx.attack_cell(job));
+    for ((config_name, attack), chunk) in
+        labels.iter().zip(summaries.chunks(attack_workloads.len()))
+    {
+        let mut agg = AttackSummary::default();
+        for summary in chunk {
+            agg.merge(summary);
+        }
+        table.push(vec![
+            (*config_name).to_owned(),
+            attack.name().to_owned(),
+            agg.applied.to_string(),
+            agg.detected.to_string(),
+            agg.faulted.to_string(),
+            agg.wrong_output.to_string(),
+            agg.benign.to_string(),
+            fmt_pct(agg.detection_rate() * 100.0),
+            fmt_pct(agg.attacker_success_rate() * 100.0),
+            agg.mean_latency()
+                .map_or_else(|| "-".to_owned(), |l| format!("{l:.0}")),
+        ]);
     }
     table
 }
 
 /// F4 — the flexibility Pareto frontier: coverage vs overhead budget.
-pub fn f4_pareto(params: &Params) -> Table {
+pub fn f4_pareto(params: &Params, engine: &Engine) -> Table {
     let sim = SimConfig::default();
     let budgets: &[f64] = if params.quick {
         &[0.02, 0.2]
@@ -501,46 +452,52 @@ pub fn f4_pareto(params: &Params) -> Table {
             "enc-fns",
         ],
     );
-    for w in params.workloads() {
-        let b = baseline(&w, &sim);
-        let cfg = flexprot_core::Cfg::recover(&b.image).expect("cfg");
+    let mut cells = Vec::new();
+    for &w in &params.workloads() {
         for &budget in budgets {
-            let opt = OptimizerConfig {
-                budget_fraction: budget,
-                ..OptimizerConfig::default()
-            };
-            let plan = optimize(&b.image, &cfg, &b.profile, &opt);
-            // The optimizer costs exactly the policy selection, so the
-            // spacing-enforcement extras (which it cannot see) are disabled
-            // here; signature checks alone carry the integrity story.
-            let config = ProtectionConfig::from_plan(
-                &plan,
-                GuardConfig {
-                    enforce_spacing: false,
-                    ..guard_config(0.0, Placement::ColdestFirst)
-                },
-                EncryptConfig::whole_program(ENC_KEY),
-            );
-            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
-            let r = run_protected(&w, &protected, &sim);
-            let enc_fns = plan.functions.values().filter(|f| f.encrypt).count();
-            table.push(vec![
-                w.name.to_owned(),
-                fmt_pct(budget * 100.0),
-                format!("{:.3}", plan.coverage),
-                fmt_pct(plan.est_extra_cycles as f64 / b.run.stats.cycles as f64 * 100.0),
-                fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)),
-                protected.report.guards_inserted.to_string(),
-                enc_fns.to_string(),
-            ]);
+            cells.push((w, budget));
         }
+    }
+    let rows = engine.run_jobs(&cells, |ctx, &(w, budget)| {
+        let b = ctx.baseline(&w, &sim);
+        let cfg = flexprot_core::Cfg::recover(&b.image).expect("cfg");
+        let opt = OptimizerConfig {
+            budget_fraction: budget,
+            ..OptimizerConfig::default()
+        };
+        let plan = optimize(&b.image, &cfg, &b.profile, &opt);
+        // The optimizer costs exactly the policy selection, so the
+        // spacing-enforcement extras (which it cannot see) are disabled
+        // here; signature checks alone carry the integrity story.
+        let config = ProtectionConfig::from_plan(
+            &plan,
+            GuardConfig {
+                enforce_spacing: false,
+                ..guard_config(0.0, Placement::ColdestFirst)
+            },
+            EncryptConfig::whole_program(ENC_KEY),
+        );
+        let cell = ctx.run_cell(&Job::new(w, config).profiled());
+        let enc_fns = plan.functions.values().filter(|f| f.encrypt).count();
+        vec![
+            w.name.to_owned(),
+            fmt_pct(budget * 100.0),
+            format!("{:.3}", plan.coverage),
+            fmt_pct(plan.est_extra_cycles as f64 / b.run.stats.cycles as f64 * 100.0),
+            fmt_pct(cell.overhead_pct()),
+            cell.protected.report.guards_inserted.to_string(),
+            enc_fns.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     table
 }
 
 /// T4 — placement-policy ablation at matched density.
-pub fn t4_placement(params: &Params) -> Table {
-    let sim = SimConfig::default();
+pub fn t4_placement(params: &Params, engine: &Engine) -> Table {
+    let workloads = params.workloads();
     let density = 0.3;
     let policies = [
         ("uniform", Placement::Uniform),
@@ -557,22 +514,24 @@ pub fn t4_placement(params: &Params) -> Table {
         "Runtime overhead (%) by placement policy (density 0.3)",
         headers,
     );
-    for w in params.workloads() {
-        let b = baseline(&w, &sim);
-        let mut row = vec![w.name.to_owned()];
+    let mut jobs = Vec::new();
+    for &w in &workloads {
         for (_, placement) in policies {
             let config = ProtectionConfig::new().with_guards(guard_config(density, placement));
-            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
-            let r = run_protected(&w, &protected, &sim);
-            row.push(fmt_pct(overhead_pct(b.run.stats.cycles, r.stats.cycles)));
+            jobs.push(Job::new(w, config).profiled());
         }
+    }
+    let cells = engine.run_jobs(&jobs, |ctx, job| fmt_pct(ctx.run_cell(job).overhead_pct()));
+    for (w, chunk) in workloads.iter().zip(cells.chunks(policies.len())) {
+        let mut row = vec![w.name.to_owned()];
+        row.extend(chunk.iter().cloned());
         table.push(row);
     }
     table
 }
 
 /// F5 — estimator accuracy: predicted vs measured overhead.
-pub fn f5_estimator(params: &Params) -> Table {
+pub fn f5_estimator(params: &Params, engine: &Engine) -> Table {
     let sim = SimConfig::default();
     let mut table = Table::new(
         "F5",
@@ -580,82 +539,88 @@ pub fn f5_estimator(params: &Params) -> Table {
         &["workload", "config", "est+%", "measured+%", "abs-err"],
     );
     let line_words = SimConfig::default().icache.line_words();
-    for w in params.workloads() {
-        let b = baseline(&w, &sim);
-        let cfg = flexprot_core::Cfg::recover(&b.image).expect("cfg");
-        let cases: Vec<(&str, ProtectionConfig)> = vec![
-            (
-                "guards d=0.25",
-                ProtectionConfig::new().with_guards(guard_config(0.25, Placement::Uniform)),
-            ),
-            (
-                "guards d=1.0",
-                ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform)),
-            ),
-            (
-                "enc program",
-                ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY)),
-            ),
-        ];
-        for (name, config) in cases {
-            // Estimate on the baseline layout, mirroring the pass's actual
-            // selection (including loop-header enforcement).
-            let selected = match &config.guards {
-                Some(g) => flexprot_core::select_guard_blocks(&b.image, &cfg, g, Some(&b.profile))
-                    .expect("selection"),
-                None => Default::default(),
-            };
-            let ranges: Vec<(u32, u32)> = if config.encryption.is_some() {
-                vec![(b.image.text_base, b.image.text_end())]
-            } else {
-                vec![]
-            };
-            let est = flexprot_core::estimate(
-                &b.image,
-                &cfg,
-                &selected,
-                &ranges,
-                DecryptModel::baseline(),
-                line_words,
-                &b.profile,
-            );
-            let protected = protect(&b.image, &config, Some(&b.profile)).expect("protect");
-            let r = run_protected(&w, &protected, &sim);
-            let est_pct = est.overhead_fraction() * 100.0;
-            let meas_pct = overhead_pct(b.run.stats.cycles, r.stats.cycles);
-            table.push(vec![
-                w.name.to_owned(),
-                name.to_owned(),
-                fmt_pct(est_pct),
-                fmt_pct(meas_pct),
-                fmt_pct((est_pct - meas_pct).abs()),
-            ]);
+    let cases: Vec<(&'static str, ProtectionConfig)> = vec![
+        (
+            "guards d=0.25",
+            ProtectionConfig::new().with_guards(guard_config(0.25, Placement::Uniform)),
+        ),
+        (
+            "guards d=1.0",
+            ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform)),
+        ),
+        (
+            "enc program",
+            ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY)),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for &w in &params.workloads() {
+        for (name, config) in &cases {
+            cells.push((w, *name, config.clone()));
         }
+    }
+    let rows = engine.run_jobs(&cells, |ctx, (w, name, config)| {
+        let b = ctx.baseline(w, &sim);
+        let cfg = flexprot_core::Cfg::recover(&b.image).expect("cfg");
+        // Estimate on the baseline layout, mirroring the pass's actual
+        // selection (including loop-header enforcement).
+        let selected = match &config.guards {
+            Some(g) => flexprot_core::select_guard_blocks(&b.image, &cfg, g, Some(&b.profile))
+                .expect("selection"),
+            None => Default::default(),
+        };
+        let ranges: Vec<(u32, u32)> = if config.encryption.is_some() {
+            vec![(b.image.text_base, b.image.text_end())]
+        } else {
+            vec![]
+        };
+        let est = flexprot_core::estimate(
+            &b.image,
+            &cfg,
+            &selected,
+            &ranges,
+            DecryptModel::baseline(),
+            line_words,
+            &b.profile,
+        );
+        let cell = ctx.run_cell(&Job::new(*w, config.clone()).profiled());
+        let est_pct = est.overhead_fraction() * 100.0;
+        let meas_pct = cell.overhead_pct();
+        vec![
+            w.name.to_owned(),
+            (*name).to_owned(),
+            fmt_pct(est_pct),
+            fmt_pct(meas_pct),
+            fmt_pct((est_pct - meas_pct).abs()),
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     table
 }
 
 /// T5 — protection diversity: how different two independent protections of
 /// the same program look (anti-pattern-matching property).
-pub fn t5_diversity(params: &Params) -> Table {
+pub fn t5_diversity(params: &Params, engine: &Engine) -> Table {
     let mut table = Table::new(
         "T5",
         "Re-protection diversity: fraction of differing text words",
         &["workload", "guards-reseed%", "enc-rekey%", "combined%"],
     );
-    for w in params.workloads() {
-        let image = w.image();
+    let rows = engine.run_jobs(&params.workloads(), |ctx, w| {
+        let cache = ctx.cache();
         let guarded = |seed: u64| {
             let config = ProtectionConfig::new().with_guards(GuardConfig {
                 seed,
                 key: GUARD_KEY ^ seed,
                 ..guard_config(0.5, Placement::Uniform)
             });
-            protect(&image, &config, None).expect("protect").image
+            cache.protected(w, &config, None).expect("protect")
         };
         let encrypted = |key: u64| {
             let config = ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(key));
-            protect(&image, &config, None).expect("protect").image
+            cache.protected(w, &config, None).expect("protect")
         };
         let combined = |seed: u64| {
             let config = ProtectionConfig::new()
@@ -665,21 +630,27 @@ pub fn t5_diversity(params: &Params) -> Table {
                     ..guard_config(0.5, Placement::Uniform)
                 })
                 .with_encryption(EncryptConfig::whole_program(ENC_KEY ^ seed));
-            protect(&image, &config, None).expect("protect").image
+            cache.protected(w, &config, None).expect("protect")
         };
         let diversity = flexprot_attack::analysis::word_diversity;
-        table.push(vec![
+        let (g1, g2) = (guarded(1), guarded(2));
+        let (e1, e2) = (encrypted(1), encrypted(2));
+        let (c1, c2) = (combined(1), combined(2));
+        vec![
             w.name.to_owned(),
-            fmt_pct(diversity(&guarded(1), &guarded(2)) * 100.0),
-            fmt_pct(diversity(&encrypted(1), &encrypted(2)) * 100.0),
-            fmt_pct(diversity(&combined(1), &combined(2)) * 100.0),
-        ]);
+            fmt_pct(diversity(&g1.image, &g2.image) * 100.0),
+            fmt_pct(diversity(&e1.image, &e2.image) * 100.0),
+            fmt_pct(diversity(&c1.image, &c2.image) * 100.0),
+        ]
+    });
+    for row in rows {
+        table.push(row);
     }
     table
 }
 
 /// T6 — stealth: what an attacker's static scanner sees.
-pub fn t6_stealth(params: &Params) -> Table {
+pub fn t6_stealth(params: &Params, engine: &Engine) -> Table {
     use flexprot_attack::analysis::{guard_like_runs, text_entropy_bits, undecodable_fraction};
     let mut table = Table::new(
         "T6",
@@ -692,72 +663,66 @@ pub fn t6_stealth(params: &Params) -> Table {
             "undecodable%",
         ],
     );
-    for w in params.workloads() {
-        let image = w.image();
-        let cases: Vec<(&str, Image)> = vec![
-            ("plain", image.clone()),
-            (
-                "guards",
-                protect(
-                    &image,
-                    &ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform)),
-                    None,
-                )
-                .expect("protect")
-                .image,
-            ),
-            (
-                "guards+enc",
-                protect(
-                    &image,
-                    &ProtectionConfig::new()
-                        .with_guards(guard_config(1.0, Placement::Uniform))
-                        .with_encryption(EncryptConfig::whole_program(ENC_KEY)),
-                    None,
-                )
-                .expect("protect")
-                .image,
-            ),
+    let rows = engine.run_jobs(&params.workloads(), |ctx, w| {
+        let cache = ctx.cache();
+        let image = cache.image(w);
+        let guards_cfg = ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform));
+        let both_cfg = guards_cfg
+            .clone()
+            .with_encryption(EncryptConfig::whole_program(ENC_KEY));
+        let guarded = cache.protected(w, &guards_cfg, None).expect("protect");
+        let both = cache.protected(w, &both_cfg, None).expect("protect");
+        let cases = [
+            ("plain", image.as_ref()),
+            ("guards", &guarded.image),
+            ("guards+enc", &both.image),
         ];
-        for (name, img) in cases {
-            table.push(vec![
-                w.name.to_owned(),
-                name.to_owned(),
-                guard_like_runs(&img, 4).to_string(),
-                format!("{:.3}", text_entropy_bits(&img)),
-                fmt_pct(undecodable_fraction(&img) * 100.0),
-            ]);
-        }
+        cases
+            .iter()
+            .map(|(name, img)| {
+                vec![
+                    w.name.to_owned(),
+                    (*name).to_owned(),
+                    guard_like_runs(img, 4).to_string(),
+                    format!("{:.3}", text_entropy_bits(img)),
+                    fmt_pct(undecodable_fraction(img) * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for row in rows.into_iter().flatten() {
+        table.push(row);
     }
     table
 }
 
 /// F6 — detection-latency distribution under full guards.
-pub fn f6_latency(params: &Params) -> Table {
+pub fn f6_latency(params: &Params, engine: &Engine) -> Table {
+    let attack_workloads = params.attack_workloads();
     let mut table = Table::new(
         "F6",
         "Detection latency distribution (instructions; guards, density 1.0)",
         &["attack", "detections", "min", "p50", "p90", "max", "mean"],
     );
     let config = ProtectionConfig::new().with_guards(guard_config(1.0, Placement::Uniform));
+    let mut jobs = Vec::new();
     for attack in Attack::all() {
-        let mut agg = flexprot_attack::AttackSummary::default();
-        for w in params.attack_workloads() {
-            let image = w.image();
-            let base = Machine::new(&image, SimConfig::default()).run();
-            let protected = protect(&image, &config, None).expect("protect");
-            let sim = SimConfig {
-                max_instructions: base.stats.instructions * 4 + 10_000,
-                ..SimConfig::default()
-            };
-            agg.merge(&evaluate(
-                &protected,
-                &w.expected_output(),
+        for &w in &attack_workloads {
+            jobs.push(Job::new(w, config.clone()).with_attack(AttackSpec {
                 attack,
-                params.trials(),
-                0xF6,
-                &sim,
-            ));
+                trials: params.trials(),
+                seed: 0xF6,
+            }));
+        }
+    }
+    let summaries = engine.run_jobs(&jobs, |ctx, job| ctx.attack_cell(job));
+    for (attack, chunk) in Attack::all()
+        .into_iter()
+        .zip(summaries.chunks(attack_workloads.len()))
+    {
+        let mut agg = AttackSummary::default();
+        for summary in chunk {
+            agg.merge(summary);
         }
         let q = |v: f64| {
             agg.latency_quantile(v)
@@ -777,21 +742,22 @@ pub fn f6_latency(params: &Params) -> Table {
     table
 }
 
-/// Runs every experiment in order.
-pub fn run_all(params: &Params) -> Vec<Table> {
+/// Runs every experiment in order over a shared engine (artifacts built by
+/// one experiment are reused by the next).
+pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
     vec![
-        t1_characterize(params),
-        t2_size_overhead(params),
-        f1_guard_density(params),
-        f2_decrypt_latency(params),
-        f3_icache_sweep(params),
-        t3_detection(params),
-        f4_pareto(params),
-        t4_placement(params),
-        f5_estimator(params),
-        t5_diversity(params),
-        t6_stealth(params),
-        f6_latency(params),
+        t1_characterize(params, engine),
+        t2_size_overhead(params, engine),
+        f1_guard_density(params, engine),
+        f2_decrypt_latency(params, engine),
+        f3_icache_sweep(params, engine),
+        t3_detection(params, engine),
+        f4_pareto(params, engine),
+        t4_placement(params, engine),
+        f5_estimator(params, engine),
+        t5_diversity(params, engine),
+        t6_stealth(params, engine),
+        f6_latency(params, engine),
     ]
 }
 
@@ -801,15 +767,19 @@ mod tests {
 
     const QUICK: Params = Params { quick: true };
 
+    fn engine() -> Engine {
+        Engine::new(2)
+    }
+
     #[test]
     fn t1_rows_cover_quick_workloads() {
-        let t = t1_characterize(&QUICK);
+        let t = t1_characterize(&QUICK, &engine());
         assert_eq!(t.rows.len(), QUICK.workloads().len());
     }
 
     #[test]
     fn f1_overheads_increase_with_density() {
-        let t = f1_guard_density(&QUICK);
+        let t = f1_guard_density(&QUICK, &engine());
         for row in &t.rows {
             let low: f64 = row[1].parse().unwrap();
             let high: f64 = row[2].parse().unwrap();
@@ -820,7 +790,7 @@ mod tests {
 
     #[test]
     fn f2_serial_costs_at_least_pipelined() {
-        let t = f2_decrypt_latency(&QUICK);
+        let t = f2_decrypt_latency(&QUICK, &engine());
         for row in &t.rows {
             // columns: name, serial@2, pipe@2, serial@8, pipe@8
             let serial8: f64 = row[3].parse().unwrap();
@@ -831,7 +801,7 @@ mod tests {
 
     #[test]
     fn f2_breakdown_attributes_overhead_to_decrypt_stall() {
-        let t = f2_decrypt_latency(&QUICK);
+        let t = f2_decrypt_latency(&QUICK, &engine());
         for row in &t.rows {
             // Columns: name, serial@2, pipe@2, serial@8, pipe@8, then the
             // appended (dstall, miss) pairs for 2ser/2pipe/8ser/8pipe.
@@ -847,7 +817,7 @@ mod tests {
 
     #[test]
     fn f3_breakdown_shrinks_with_larger_icache() {
-        let t = f3_icache_sweep(&QUICK);
+        let t = f3_icache_sweep(&QUICK, &engine());
         for row in &t.rows {
             // Columns: name, +%@256B, miss%@256B, +%@4096B, miss%@4096B,
             // then appended dstall%/fill% per size.
@@ -862,7 +832,7 @@ mod tests {
 
     #[test]
     fn t3_guards_beat_none_on_bitflips() {
-        let t = t3_detection(&QUICK);
+        let t = t3_detection(&QUICK, &engine());
         let rate = |config: &str, attack: &str| -> f64 {
             t.rows
                 .iter()
@@ -872,5 +842,20 @@ mod tests {
         };
         assert!(rate("guards", "bit-flip") >= rate("none", "bit-flip"));
         assert!(rate("guards+enc", "code-inject") >= rate("none", "code-inject"));
+    }
+
+    #[test]
+    fn shared_engine_reuses_artifacts_across_experiments() {
+        let engine = engine();
+        t2_size_overhead(&QUICK, &engine);
+        let after_t2 = engine.cache().stats();
+        // F1 sweeps the same (workload, density) grid, so every protected
+        // build and compiled image is already cached.
+        f1_guard_density(&QUICK, &engine);
+        let after_f1 = engine.cache().stats();
+        assert!(
+            after_f1.hits > after_t2.hits,
+            "F1 must hit artifacts T2 built: {after_t2:?} -> {after_f1:?}"
+        );
     }
 }

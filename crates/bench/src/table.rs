@@ -1,6 +1,8 @@
 //! Plain-text/CSV result tables.
 
 use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// One experiment's result table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +53,20 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+
+    /// Writes the CSV rendering to `<dir>/<id lowercase>.csv`, creating
+    /// `dir` if needed, and returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write failures.
+    pub fn save_csv(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id.to_lowercase()));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
     }
 }
 
@@ -113,5 +129,16 @@ mod tests {
     #[should_panic(expected = "arity")]
     fn arity_mismatch_panics() {
         sample().push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn save_csv_writes_id_named_file() {
+        let dir = std::env::temp_dir().join("flexprot-table-save-csv-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = sample().save_csv(&dir).expect("save csv");
+        assert!(path.ends_with("t9.csv"));
+        let written = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(written, sample().to_csv());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -6,12 +6,13 @@ use std::path::Path;
 use flexprot_core::{
     protect, EncryptConfig, Granularity, GuardConfig, Placement, ProtectionConfig, Selection,
 };
+use flexprot_exec::{default_jobs, Engine, SweepSpec};
 use flexprot_isa::Image;
 use flexprot_secmon::{DecryptModel, SecMon, SecMonConfig};
 use flexprot_sim::{CacheConfig, Machine, Outcome, SimConfig};
 use flexprot_trace::Recorder;
 
-use crate::args::parse;
+use crate::args::{parse, Args};
 
 /// Any failure a driver can report (message already formatted for users).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -260,29 +261,7 @@ pub struct RunSummary {
     pub exit_code: i32,
 }
 
-/// `fprun <image.fpx> [--secmon <cfg.fpm>] [--icache BYTES]
-/// [--max-instr N] [--stats] [--metrics <out.json>] [--trace <out.jsonl>]`.
-///
-/// `--metrics` writes the `flexprot-metrics-v1` counter/histogram document
-/// aggregated from the run's event stream; `--trace` writes every event as
-/// one JSONL line. Either flag attaches the observability sink to both the
-/// CPU and the secure monitor; without them the run is uninstrumented.
-///
-/// # Errors
-///
-/// Reports I/O and format failures (simulation outcomes are reported in
-/// the summary, not as errors).
-pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
-    let args = parse(
-        raw_args,
-        &["secmon", "icache", "max-instr", "metrics", "trace"],
-    )?;
-    let [input] = args.positional.as_slice() else {
-        return Err(CliError(
-            "usage: fprun <image.fpx> [--secmon <cfg.fpm>] [--stats]".to_owned(),
-        ));
-    };
-    let image = load_image(input)?;
+fn fprun_sim(args: &Args) -> Result<SimConfig, CliError> {
     let mut sim = SimConfig {
         max_instructions: args.parse_or("max-instr", 200_000_000u64)?,
         ..SimConfig::default()
@@ -299,12 +278,63 @@ pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
             .validate()
             .map_err(|e| CliError(format!("--icache: {e}")))?;
     }
-    let mut monitor = match args.value("secmon") {
-        Some(path) => SecMon::new(
-            SecMonConfig::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))?,
-        ),
-        None => SecMon::new(SecMonConfig::transparent()),
-    };
+    Ok(sim)
+}
+
+fn fprun_secmon(args: &Args) -> Result<SecMonConfig, CliError> {
+    match args.value("secmon") {
+        Some(path) => {
+            SecMonConfig::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))
+        }
+        None => Ok(SecMonConfig::transparent()),
+    }
+}
+
+fn outcome_code(outcome: &Outcome) -> (String, i32) {
+    match outcome {
+        Outcome::Exit(code) => (format!("exit {code}"), *code),
+        Outcome::TamperDetected(event) => (format!("TAMPER: {event}"), 101),
+        Outcome::Fault(fault) => (format!("FAULT: {fault}"), 102),
+        Outcome::OutOfFuel => ("out of fuel".to_owned(), 103),
+    }
+}
+
+/// `fprun <image.fpx>... [--secmon <cfg.fpm>] [--icache BYTES]
+/// [--max-instr N] [--jobs N] [--stats] [--metrics <out.json>]
+/// [--trace <out.jsonl>]`.
+///
+/// `--metrics` writes the `flexprot-metrics-v1` counter/histogram document
+/// aggregated from the run's event stream; `--trace` writes every event as
+/// one JSONL line. Either flag attaches the observability sink to both the
+/// CPU and the secure monitor; without them the run is uninstrumented.
+///
+/// With several images the runs are batched over an execution-engine
+/// worker pool (`--jobs N`, default `FLEXPROT_JOBS`/CPU count); every
+/// image shares the same monitor config and simulator flags, the report
+/// carries one line per image in argument order, and `--metrics` writes
+/// the merged aggregate document. `--trace` requires a single image.
+///
+/// # Errors
+///
+/// Reports I/O and format failures (simulation outcomes are reported in
+/// the summary, not as errors).
+pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
+    let args = parse(
+        raw_args,
+        &["secmon", "icache", "max-instr", "metrics", "trace", "jobs"],
+    )?;
+    if args.positional.is_empty() {
+        return Err(CliError(
+            "usage: fprun <image.fpx>... [--secmon <cfg.fpm>] [--jobs N] [--stats]".to_owned(),
+        ));
+    }
+    if args.positional.len() > 1 {
+        return fprun_batch(&args);
+    }
+    let input = &args.positional[0];
+    let image = load_image(input)?;
+    let sim = fprun_sim(&args)?;
+    let mut monitor = SecMon::new(fprun_secmon(&args)?);
     let metrics_path = args.value("metrics").map(str::to_owned);
     let trace_path = args.value("trace").map(str::to_owned);
     let observed = (metrics_path.is_some() || trace_path.is_some()).then(|| {
@@ -339,12 +369,7 @@ pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
         }
     }
 
-    let (outcome_text, exit_code) = match &result.outcome {
-        Outcome::Exit(code) => (format!("exit {code}"), *code),
-        Outcome::TamperDetected(event) => (format!("TAMPER: {event}"), 101),
-        Outcome::Fault(fault) => (format!("FAULT: {fault}"), 102),
-        Outcome::OutOfFuel => ("out of fuel".to_owned(), 103),
-    };
+    let (outcome_text, exit_code) = outcome_code(&result.outcome);
     let mut report = outcome_text;
     if args.has("stats") {
         report.push_str(&format!(
@@ -360,6 +385,69 @@ pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
     Ok(RunSummary {
         output: result.output,
         report,
+        exit_code,
+    })
+}
+
+/// Several positional images: fan the runs out over an [`Engine`] pool.
+/// Outputs and report lines come back in argument order whatever the
+/// worker count.
+fn fprun_batch(args: &Args) -> Result<RunSummary, CliError> {
+    if args.value("trace").is_some() {
+        return Err(CliError(
+            "--trace requires a single image (run the batch without it)".to_owned(),
+        ));
+    }
+    let sim = fprun_sim(args)?;
+    let secmon = fprun_secmon(args)?;
+    let workers: usize = args.parse_or("jobs", default_jobs())?;
+    let want_metrics = args.value("metrics").is_some();
+    let want_stats = args.has("stats");
+    let engine = Engine::new(workers);
+    let results = engine.run_jobs(&args.positional, |ctx, path| {
+        let image = load_image(path)?;
+        let mut monitor = SecMon::new(secmon.clone());
+        let observed = want_metrics.then(|| Recorder::new().shared());
+        if let Some((sink, _)) = &observed {
+            monitor.attach_sink(sink.clone());
+        }
+        let mut machine = Machine::with_monitor(&image, sim.clone(), monitor);
+        if let Some((sink, _)) = &observed {
+            machine.attach_sink(sink.clone());
+        }
+        let result = machine.run();
+        if let Some((_, recorder)) = &observed {
+            ctx.merge_metrics(recorder.borrow().metrics());
+        }
+        let (text, code) = outcome_code(&result.outcome);
+        let mut line = format!("{path}: {text}");
+        if want_stats {
+            line.push_str(&format!(
+                " ({} instrs, {} cycles, CPI {:.3})",
+                result.stats.instructions,
+                result.stats.cycles,
+                result.stats.cpi()
+            ));
+        }
+        Ok::<_, CliError>((result.output, line, code))
+    });
+    let mut outputs = Vec::new();
+    let mut lines = Vec::new();
+    let mut exit_code = 0;
+    for result in results {
+        let (output, line, code) = result?;
+        outputs.push(output);
+        lines.push(line);
+        if exit_code == 0 {
+            exit_code = code;
+        }
+    }
+    if let Some(path) = args.value("metrics") {
+        write(path, engine.metrics().to_json().as_bytes())?;
+    }
+    Ok(RunSummary {
+        output: outputs.join("\n"),
+        report: lines.join("\n"),
         exit_code,
     })
 }
@@ -646,6 +734,70 @@ mod tests {
     }
 
     #[test]
+    fn fprun_batch_runs_images_in_order_across_workers() {
+        use flexprot_trace::json;
+
+        let first = write_sample_source("batch1.s");
+        let second = tmp("batch2.s");
+        std::fs::write(
+            &second,
+            "main: li $a0, 7\n li $v0, 1\n syscall\n li $v0, 10\n syscall\n",
+        )
+        .unwrap();
+        let fpx1 = tmp("batch1.fpx");
+        let fpx2 = tmp("batch2.fpx");
+        fpasm(&strs(&[&first, "--o", &fpx1])).unwrap();
+        fpasm(&strs(&[&second, "--o", &fpx2])).unwrap();
+
+        let metrics = tmp("batch.metrics.json");
+        let run = fprun(&strs(&[
+            &fpx1,
+            &fpx2,
+            &fpx1,
+            "--jobs",
+            "2",
+            "--stats",
+            "--metrics",
+            &metrics,
+        ]))
+        .unwrap();
+        assert_eq!(run.exit_code, 0, "{run:?}");
+        // Outputs and report lines keep the command-line order whatever
+        // the worker interleaving.
+        assert_eq!(run.output, "5\n7\n5");
+        let lines: Vec<&str> = run.report.lines().collect();
+        assert_eq!(lines.len(), 3, "{}", run.report);
+        assert!(lines[0].starts_with(&fpx1), "{}", run.report);
+        assert!(lines[1].starts_with(&fpx2), "{}", run.report);
+        assert!(lines[2].starts_with(&fpx1), "{}", run.report);
+        assert!(lines[0].contains("instrs"), "{}", run.report);
+
+        // The aggregate metrics document covers all three runs.
+        let doc = std::fs::read_to_string(&metrics).unwrap();
+        let value = json::parse(&doc).unwrap();
+        assert_eq!(
+            value.get("schema").and_then(json::Value::as_str),
+            Some(flexprot_trace::METRICS_SCHEMA)
+        );
+        let counters = value.get("counters").expect("counters object");
+        assert_eq!(
+            counters
+                .get("exec_jobs_completed")
+                .and_then(json::Value::as_u64),
+            Some(3),
+            "{doc}"
+        );
+
+        // A failing image surfaces its exit code without aborting the batch.
+        let serial = fprun(&strs(&[&fpx1, &fpx2, "--jobs", "1"])).unwrap();
+        assert_eq!(serial.output, "5\n7");
+        assert_eq!(serial.exit_code, 0);
+
+        // --trace is ambiguous across a batch and must be rejected.
+        assert!(fprun(&strs(&[&fpx1, &fpx2, "--trace", &tmp("batch.trace")])).is_err());
+    }
+
+    #[test]
     fn bad_usage_is_reported() {
         assert!(fpasm(&[]).is_err());
         assert!(fpobjdump(&[]).is_err());
@@ -779,6 +931,230 @@ pub fn fpcc(raw_args: &[String]) -> Result<String, CliError> {
         message.push_str(&format!("; assembly -> {asm_path}"));
     }
     Ok(message)
+}
+
+/// `fpsweep [--workloads a,b,..] [--densities 0.25,1.0,..] [--encrypt]
+/// [--jobs N] [--csv <out.csv>] [--metrics <out.json>]` — run a guard
+/// density sweep over built-in workloads on the batched execution engine.
+///
+/// Each (workload, density) cell protects the kernel with uniform
+/// profile-guided guards at that density (plus whole-program encryption
+/// under `--encrypt`), runs it, and reports the cycle overhead against the
+/// cached unprotected baseline. Cells fan out over `--jobs` workers;
+/// compiled images, baselines and protected binaries are shared through
+/// the engine's artifact cache, and the rendered rows are identical
+/// whatever the worker count.
+///
+/// # Errors
+///
+/// Reports unknown workloads, malformed densities and I/O failures.
+pub fn fpsweep(raw_args: &[String]) -> Result<String, CliError> {
+    let args = parse(
+        raw_args,
+        &["workloads", "densities", "jobs", "csv", "metrics"],
+    )?;
+    if !args.positional.is_empty() {
+        return Err(CliError(
+            "usage: fpsweep [--workloads a,b,..] [--densities 0.25,1.0,..] \
+             [--encrypt] [--jobs N] [--csv <out.csv>] [--metrics <out.json>]"
+                .to_owned(),
+        ));
+    }
+    let mut workloads = Vec::new();
+    for name in args
+        .value("workloads")
+        .unwrap_or("rle,qsort,dijkstra")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        workloads.push(flexprot_workloads::by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = flexprot_workloads::all().iter().map(|w| w.name).collect();
+            CliError(format!(
+                "unknown workload `{name}`; known: {}",
+                known.join(", ")
+            ))
+        })?);
+    }
+    let mut densities = Vec::new();
+    for token in args
+        .value("densities")
+        .unwrap_or("0.25,1.0")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        let density: f64 = token
+            .parse()
+            .map_err(|_| CliError(format!("invalid density `{token}`")))?;
+        if !(density > 0.0 && density <= 1.0) {
+            return Err(CliError(format!("density `{token}` out of range (0, 1]")));
+        }
+        densities.push(density);
+    }
+    let encrypt = args.has("encrypt");
+
+    let mut spec = SweepSpec::new().workloads(workloads).profiled();
+    for &density in &densities {
+        let mut config = ProtectionConfig::new().with_guards(GuardConfig {
+            key: 0x0BAD_C0DE_CAFE_F00D,
+            seed: 7,
+            placement: Placement::Uniform,
+            selection: Selection::Density(density),
+            enforce_spacing: true,
+        });
+        let mut tag = format!("guards@{density}");
+        if encrypt {
+            config = config.with_encryption(EncryptConfig::whole_program(0x5EED_5EED_5EED_5EED));
+            tag.push_str("+enc");
+        }
+        spec = spec.config(tag, config);
+    }
+
+    let workers: usize = args.parse_or("jobs", default_jobs())?;
+    let engine = Engine::new(workers);
+    let jobs = spec.jobs();
+    let cells = engine.run_jobs(&jobs, |ctx, job| ctx.run_cell(job));
+
+    let mut rows: Vec<Vec<String>> = vec![[
+        "workload",
+        "config",
+        "base-cycles",
+        "cycles",
+        "+%",
+        "guards",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect()];
+    for (job, cell) in jobs.iter().zip(&cells) {
+        rows.push(vec![
+            job.workload.name.to_owned(),
+            job.config_tag.clone(),
+            cell.baseline.run.stats.cycles.to_string(),
+            cell.run.stats.cycles.to_string(),
+            format!("{:.2}", cell.overhead_pct()),
+            cell.protected.report.guards_inserted.to_string(),
+        ]);
+    }
+
+    if let Some(path) = args.value("csv") {
+        let mut csv = String::new();
+        for row in &rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        write(path, csv.as_bytes())?;
+    }
+    if let Some(path) = args.value("metrics") {
+        write(path, engine.metrics().to_json().as_bytes())?;
+    }
+
+    let mut widths = vec![0usize; rows[0].len()];
+    for row in &rows {
+        for (width, cell) in widths.iter_mut().zip(row) {
+            *width = (*width).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &rows {
+        for (i, (cell, width)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}"));
+        }
+        out.push('\n');
+    }
+    let stats = engine.cache().stats();
+    out.push_str(&format!(
+        "({} cells, {} workers, cache {} hits / {} misses)\n",
+        jobs.len(),
+        engine.workers(),
+        stats.hits,
+        stats.misses
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod fpsweep_tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn sweep_reports_overhead_rows_and_cache_sharing() {
+        let report = fpsweep(&strs(&[
+            "--workloads",
+            "rle",
+            "--densities",
+            "0.25,1.0",
+            "--jobs",
+            "2",
+        ]))
+        .unwrap();
+        assert!(report.contains("workload"), "{report}");
+        assert!(report.contains("guards@0.25"), "{report}");
+        assert!(report.contains("guards@1"), "{report}");
+        // Two cells share one compiled image and one baseline.
+        assert!(report.contains("hits"), "{report}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_worker_counts() {
+        let serial = fpsweep(&strs(&["--workloads", "rle", "--jobs", "1"])).unwrap();
+        let parallel = fpsweep(&strs(&["--workloads", "rle", "--jobs", "4"])).unwrap();
+        // The trailing summary names the worker count; the table itself
+        // must match byte for byte.
+        let table = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('('))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&serial), table(&parallel));
+    }
+
+    #[test]
+    fn sweep_writes_csv_and_metrics() {
+        let dir = std::env::temp_dir().join("flexprot-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("sweep.csv").to_string_lossy().into_owned();
+        let metrics_path = dir
+            .join("sweep.metrics.json")
+            .to_string_lossy()
+            .into_owned();
+        fpsweep(&strs(&[
+            "--workloads",
+            "rle",
+            "--densities",
+            "1.0",
+            "--csv",
+            &csv_path,
+            "--metrics",
+            &metrics_path,
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("workload,config,base-cycles"), "{csv}");
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(
+            metrics.contains(flexprot_trace::METRICS_SCHEMA),
+            "{metrics}"
+        );
+        assert!(metrics.contains("exec_jobs_completed"), "{metrics}");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        assert!(fpsweep(&strs(&["--workloads", "nonesuch"])).is_err());
+        assert!(fpsweep(&strs(&["--densities", "2.0"])).is_err());
+        assert!(fpsweep(&strs(&["--densities", "abc"])).is_err());
+        assert!(fpsweep(&strs(&["stray-positional"])).is_err());
+    }
 }
 
 #[cfg(test)]

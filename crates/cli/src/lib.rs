@@ -19,5 +19,5 @@ pub mod args;
 pub mod drivers;
 
 pub use drivers::{
-    fpasm, fpcc, fplint, fpobjdump, fpprotect, fprun, CliError, LintSummary, RunSummary,
+    fpasm, fpcc, fplint, fpobjdump, fpprotect, fprun, fpsweep, CliError, LintSummary, RunSummary,
 };

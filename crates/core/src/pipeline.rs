@@ -158,6 +158,17 @@ impl Protected {
         machine
     }
 
+    /// Re-arms an existing machine to run this protected program, reusing
+    /// its cache and memory allocations instead of building a new machine.
+    ///
+    /// The monitor is re-provisioned from this binary's [`SecMonConfig`]
+    /// (the secure monitor carries per-run state), and the machine's sink
+    /// is cleared — reattach one afterwards for a traced run. The batch
+    /// harnesses use this to amortize allocations across many trials.
+    pub fn rearm(&self, machine: &mut Machine<SecMon>) {
+        machine.reset_with_monitor(&self.image, SecMon::new(self.secmon.clone()));
+    }
+
     /// Runs the protected program to completion.
     pub fn run(&self, config: SimConfig) -> RunResult {
         self.machine(config).run()
@@ -437,6 +448,31 @@ fold:   mul  $t1, $t0, $t0
         let plain = protect(&image, &config, None).unwrap();
         let traced = protect_traced(&image, &config, None, Some(&sink)).unwrap();
         assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn rearmed_machine_matches_fresh_machine() {
+        let (image, _) = baseline();
+        let guarded = protect(
+            &image,
+            &ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0)),
+            None,
+        )
+        .unwrap();
+        let encrypted = protect(
+            &image,
+            &ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(0xFACE)),
+            None,
+        )
+        .unwrap();
+        let fresh_guarded = guarded.run(SimConfig::default());
+        let fresh_encrypted = encrypted.run(SimConfig::default());
+        let mut machine = guarded.machine(SimConfig::default());
+        machine.run();
+        encrypted.rearm(&mut machine);
+        assert_eq!(machine.run(), fresh_encrypted);
+        guarded.rearm(&mut machine);
+        assert_eq!(machine.run(), fresh_guarded);
     }
 
     #[test]

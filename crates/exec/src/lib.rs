@@ -1,0 +1,46 @@
+//! Batched parallel execution of protection-evaluation grids.
+//!
+//! The evaluation is a grid of simulations — guard density × decrypt
+//! latency × I-cache geometry × workload × attack — and every sweep used
+//! to re-compile and re-protect identical (workload, config) pairs
+//! serially. This crate turns the evaluate-many-configurations loop into
+//! an engineered subsystem:
+//!
+//! * a [`Job`] describes one (workload, [`ProtectionConfig`],
+//!   [`SimConfig`], attack) cell, and a [`SweepSpec`] expands axes into a
+//!   job grid in a fixed workload-major order;
+//! * an [`Engine`] runs jobs on a scoped-thread worker pool (std-only;
+//!   `--jobs N` or `FLEXPROT_JOBS`), collecting results in *job order* so
+//!   output is deterministic whatever the thread count;
+//! * an [`ArtifactCache`] memoizes compiled images, profiled baselines and
+//!   protected binaries behind content-addressed keys, shared via `Arc`
+//!   across every cell that needs them;
+//! * per-job [`flexprot_trace`] recorders merge into one aggregate
+//!   [`Metrics`] document (commutative counter/histogram merges), so the
+//!   aggregate too is independent of scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use flexprot_exec::{Engine, SweepSpec};
+//!
+//! let engine = Engine::new(2);
+//! let spec = SweepSpec::new()
+//!     .workloads(flexprot_workloads::by_name("rle"));
+//! let cells = engine.run_jobs(&spec.jobs(), |ctx, job| ctx.run_cell(job).run.stats.cycles);
+//! assert_eq!(cells.len(), 1);
+//! assert!(engine.metrics().counter("exec_jobs_completed") >= 1);
+//! ```
+
+mod cache;
+mod engine;
+mod sweep;
+
+pub use cache::{fingerprint, ArtifactCache, Baseline, CacheStats};
+pub use engine::{default_jobs, Engine, JobCtx};
+pub use sweep::{AttackSpec, CellResult, CycleBreakdown, Job, SweepSpec};
+
+// Re-exported so engine users can build jobs without extra imports.
+pub use flexprot_core::ProtectionConfig;
+pub use flexprot_sim::SimConfig;
+pub use flexprot_trace::Metrics;

@@ -197,6 +197,14 @@ impl Cache {
             *way = Way::default();
         }
     }
+
+    /// Restores the just-constructed state, reusing the way allocation:
+    /// every line invalid and the LRU clock back at zero, so a reset cache
+    /// behaves identically to a fresh [`Cache::new`].
+    pub fn reset(&mut self) {
+        self.flush();
+        self.tick = 0;
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +276,20 @@ mod tests {
         c.access(0x100, false);
         c.flush();
         assert!(!c.access(0x100, false).hit);
+    }
+
+    #[test]
+    fn reset_matches_fresh_cache_behaviour() {
+        let mut used = tiny();
+        // Age the LRU clock and dirty some lines before resetting.
+        for addr in [0x000u32, 0x020, 0x040, 0x010] {
+            used.access(addr, true);
+        }
+        used.reset();
+        let mut fresh = tiny();
+        for addr in [0x000u32, 0x020, 0x000, 0x040, 0x020] {
+            assert_eq!(used.access(addr, false), fresh.access(addr, false));
+        }
     }
 
     #[test]

@@ -167,6 +167,45 @@ impl<M: FetchMonitor> Machine<M> {
         &self.monitor
     }
 
+    /// Mutable access to the monitor (e.g. to attach an observability sink
+    /// after [`Machine::reset_with_monitor`]).
+    pub fn monitor_mut(&mut self) -> &mut M {
+        &mut self.monitor
+    }
+
+    /// Re-arms the machine to run `image` from scratch, reusing the cache
+    /// and memory allocations of the previous run instead of reallocating.
+    ///
+    /// Registers, pc, caches, stats, captured output and the observability
+    /// sink are all restored to their just-constructed state, so a reset
+    /// machine produces byte-identical results to a fresh
+    /// [`Machine::with_monitor`] under the same config. The monitor is left
+    /// untouched — stateless monitors (e.g. [`NullMonitor`]) can be reused
+    /// directly; monitors with per-run state must be re-provisioned via
+    /// [`Machine::reset_with_monitor`].
+    pub fn reset(&mut self, image: &Image) {
+        self.regs = [0; 32];
+        self.regs[Reg::SP.index() as usize] = STACK_TOP;
+        self.regs[Reg::FP.index() as usize] = STACK_TOP;
+        self.pc = image.entry;
+        self.prev_pc = None;
+        self.mem.reset(image);
+        self.icache.reset();
+        self.dcache.reset();
+        self.stats = Stats::default();
+        self.output.clear();
+        self.text_base = image.text_base;
+        self.text_end = image.text_end();
+        self.sink = None;
+    }
+
+    /// [`Machine::reset`] plus a fresh monitor, for monitors that carry
+    /// per-run state (the secure monitor's guard windows and tamper log).
+    pub fn reset_with_monitor(&mut self, image: &Image, monitor: M) {
+        self.monitor = monitor;
+        self.reset(image);
+    }
+
     /// Runs until exit, fault, tamper detection or fuel exhaustion.
     pub fn run(&mut self) -> RunResult {
         let outcome = self.run_inner();
@@ -469,6 +508,39 @@ main:   li  $t0, 21
 "#);
         assert_eq!(r.outcome, Outcome::Exit(0));
         assert_eq!(r.output, "42");
+    }
+
+    #[test]
+    fn reset_run_is_byte_identical_to_fresh_run() {
+        let sum = flexprot_asm::assemble_or_panic(
+            r#"
+main:   li   $t0, 0
+        li   $t1, 50
+loop:   addu $t0, $t0, $t1
+        addi $t1, $t1, -1
+        bgtz $t1, loop
+        addi $sp, $sp, -4
+        sw   $t0, 0($sp)
+        lw   $a0, 0($sp)
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#,
+        );
+        let other = flexprot_asm::assemble_or_panic(
+            "main: li $a0, 7\n li $v0, 1\n syscall\n li $v0, 10\n syscall\n",
+        );
+        let fresh_sum = Machine::new(&sum, SimConfig::default()).run();
+        let fresh_other = Machine::new(&other, SimConfig::default()).run();
+        // One machine, reset across images: results (stats included) must
+        // match fresh machines exactly.
+        let mut machine = Machine::new(&other, SimConfig::default());
+        machine.run();
+        machine.reset(&sum);
+        assert_eq!(machine.run(), fresh_sum);
+        machine.reset(&other);
+        assert_eq!(machine.run(), fresh_other);
     }
 
     #[test]

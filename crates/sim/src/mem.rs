@@ -111,6 +111,23 @@ impl Memory {
         out
     }
 
+    /// Zeroes every resident page in place and reloads `image`'s segments —
+    /// functionally identical to a fresh [`Memory::load`], but page
+    /// allocations from the previous run are reused instead of freed and
+    /// reallocated. Batch drivers lean on this to run many images through
+    /// one machine.
+    pub fn reset(&mut self, image: &Image) {
+        for page in self.pages.values_mut() {
+            **page = [0; PAGE_SIZE];
+        }
+        for (i, &word) in image.text.iter().enumerate() {
+            self.write_u32(image.text_base + 4 * i as u32, word);
+        }
+        for (i, &byte) in image.data.iter().enumerate() {
+            self.write_u8(image.data_base + i as u32, byte);
+        }
+    }
+
     /// Number of resident pages, for footprint diagnostics.
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
@@ -155,6 +172,22 @@ mod tests {
         assert_eq!(mem.read_u32(img.text_base), 0x1234_5678);
         assert_eq!(mem.read_u8(img.data_base), 9);
         assert_eq!(mem.read_u8(img.data_base + 2), 7);
+    }
+
+    #[test]
+    fn reset_reuses_pages_and_matches_fresh_load() {
+        let mut img = Image::from_text(vec![0xAABB_CCDD]);
+        img.data = vec![1, 2, 3];
+        let mut mem = Memory::load(&img);
+        // Dirty some unrelated memory (the stack, say) before resetting.
+        mem.write_u32(0x7FFF_F000, 0xDEAD_BEEF);
+        let pages_before = mem.resident_pages();
+        mem.reset(&img);
+        assert_eq!(mem.resident_pages(), pages_before, "allocations reused");
+        let fresh = Memory::load(&img);
+        assert_eq!(mem.read_u32(img.text_base), fresh.read_u32(img.text_base));
+        assert_eq!(mem.read_u8(img.data_base + 2), 3);
+        assert_eq!(mem.read_u32(0x7FFF_F000), 0, "stale state cleared");
     }
 
     #[test]

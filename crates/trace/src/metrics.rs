@@ -73,6 +73,23 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Merges another histogram into this one bucket-wise.
+    ///
+    /// The operation is commutative and associative, so per-job histograms
+    /// can be folded into an aggregate in any order — the property the
+    /// parallel execution engine relies on for deterministic output.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     fn to_json(&self) -> String {
         let mut obj = JsonObject::new();
         obj.num("count", self.count)
@@ -132,6 +149,23 @@ impl Metrics {
         self.counters.iter().map(|(name, value)| (*name, *value))
     }
 
+    /// Merges another registry into this one: counters add, histograms
+    /// merge bucket-wise.
+    ///
+    /// Addition is commutative, so folding N per-job registries into one
+    /// aggregate yields the same document whatever order the jobs finished
+    /// in. Note that `set`-style absolute counters (the `sim_*`
+    /// reconciliation set) become sums under merge, which is the intended
+    /// aggregate reading (total cycles, total instructions, …).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(histogram);
+        }
+    }
+
     /// Renders the `flexprot-metrics-v1` document.
     pub fn to_json(&self) -> String {
         let mut counters = JsonObject::new();
@@ -182,6 +216,68 @@ mod tests {
         assert_eq!(m.counter("a"), 5);
         assert_eq!(m.counter("b"), 7);
         assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut a = Histogram::default();
+        for v in [0, 3, 8] {
+            a.record(v);
+        }
+        let mut b = Histogram::default();
+        for v in [1, 1024] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 5);
+        assert_eq!(ab.sum(), 1036);
+        assert_eq!(ab.max(), 1024);
+        let mut direct = Histogram::default();
+        for v in [0, 3, 8, 1, 1024] {
+            direct.record(v);
+        }
+        assert_eq!(ab, direct);
+    }
+
+    #[test]
+    fn metrics_merge_adds_counters_and_histograms() {
+        let mut a = Metrics::new();
+        a.add("cycles", 10);
+        a.observe("lat", 4);
+        let mut b = Metrics::new();
+        b.add("cycles", 5);
+        b.incr("jobs");
+        b.observe("lat", 16);
+        a.merge(&b);
+        assert_eq!(a.counter("cycles"), 15);
+        assert_eq!(a.counter("jobs"), 1);
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 20);
+    }
+
+    #[test]
+    fn merge_order_yields_identical_json() {
+        let mk = |x: u64| {
+            let mut m = Metrics::new();
+            m.add("n", x);
+            m.observe("h", x);
+            m
+        };
+        let parts = [mk(1), mk(2), mk(3)];
+        let mut fwd = Metrics::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Metrics::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.to_json(), rev.to_json());
     }
 
     #[test]

@@ -212,7 +212,11 @@ fn collatz_ref() -> String {
     let steps = |mut n: u64| {
         let mut s = 0u32;
         while n != 1 {
-            n = if n.is_multiple_of(2) { n / 2 } else { 3 * n + 1 };
+            n = if n.is_multiple_of(2) {
+                n / 2
+            } else {
+                3 * n + 1
+            };
             s += 1;
         }
         s
