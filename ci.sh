@@ -84,4 +84,20 @@ grep -Eq '"exec_cache_misses":[1-9]' "$EXEC_DIR/serial.metrics.json" || {
 }
 echo "parallel determinism OK"
 
+echo "== static surface: fpsurface baseline =="
+# Lint every golden protected image of the protection matrix. The run
+# fails on any error-severity finding (fpsurface exit code), and the
+# per-cell tamper-surface counts must match the checked-in baseline —
+# a diff means coverage regressed (or improved: regenerate the baseline
+# with the same command and commit it alongside the change).
+cargo run --quiet --release -p flexprot-cli --bin fpsurface -- \
+    --csv "$EXEC_DIR/surface.csv" > /dev/null || {
+    echo "fpsurface reported error-severity findings"; exit 1;
+}
+diff -u results/surface_baseline.csv "$EXEC_DIR/surface.csv" || {
+    echo "tamper-surface counts diverged from results/surface_baseline.csv"
+    exit 1
+}
+echo "surface baseline OK"
+
 echo "CI OK"

@@ -91,6 +91,16 @@ pub struct AttackSummary {
     /// How each caught trial (detected or faulted) was proven, keyed by
     /// [`DetectionCause`].
     pub causes: BTreeMap<DetectionCause, u32>,
+    /// Effective trials the tamper-surface oracle predicted caught and the
+    /// stack caught (detected or faulted).
+    pub oracle_true_pos: u32,
+    /// Effective trials predicted caught that escaped (wrong output or
+    /// timeout).
+    pub oracle_false_pos: u32,
+    /// Effective trials predicted missed that the stack caught anyway.
+    pub oracle_false_neg: u32,
+    /// Effective trials predicted missed that escaped.
+    pub oracle_true_neg: u32,
 }
 
 impl AttackSummary {
@@ -127,6 +137,35 @@ impl AttackSummary {
         }
     }
 
+    /// Precision of the static oracle over effective trials:
+    /// `tp / (tp + fp)`. Returns 1.0 when the oracle predicted nothing
+    /// caught (no positives to be wrong about).
+    pub fn oracle_precision(&self) -> f64 {
+        let positives = self.oracle_true_pos + self.oracle_false_pos;
+        if positives == 0 {
+            1.0
+        } else {
+            f64::from(self.oracle_true_pos) / f64::from(positives)
+        }
+    }
+
+    /// Recall of the static oracle over effective trials:
+    /// `tp / (tp + fn)`. Returns 1.0 when the stack caught nothing (no
+    /// ground-truth positives to recover).
+    pub fn oracle_recall(&self) -> f64 {
+        let caught = self.oracle_true_pos + self.oracle_false_neg;
+        if caught == 0 {
+            1.0
+        } else {
+            f64::from(self.oracle_true_pos) / f64::from(caught)
+        }
+    }
+
+    /// Effective trials the oracle was scored on.
+    pub fn oracle_trials(&self) -> u32 {
+        self.oracle_true_pos + self.oracle_false_pos + self.oracle_false_neg + self.oracle_true_neg
+    }
+
     /// Mean detection latency in instructions; `None` without detections.
     pub fn mean_latency(&self) -> Option<f64> {
         (self.detected > 0).then(|| self.latency_sum as f64 / f64::from(self.detected))
@@ -159,6 +198,10 @@ impl AttackSummary {
         for (cause, count) in &other.causes {
             *self.causes.entry(*cause).or_insert(0) += count;
         }
+        self.oracle_true_pos += other.oracle_true_pos;
+        self.oracle_false_pos += other.oracle_false_pos;
+        self.oracle_false_neg += other.oracle_false_neg;
+        self.oracle_true_neg += other.oracle_true_neg;
     }
 
     /// Number of caught trials proven by `cause`.
@@ -178,6 +221,10 @@ impl AttackSummary {
         metrics.add("attack_benign", u64::from(self.benign));
         metrics.add("attack_timeout", u64::from(self.timeout));
         metrics.add("attack_static_detected", u64::from(self.static_detected));
+        metrics.add("attack_oracle_true_pos", u64::from(self.oracle_true_pos));
+        metrics.add("attack_oracle_false_pos", u64::from(self.oracle_false_pos));
+        metrics.add("attack_oracle_false_neg", u64::from(self.oracle_false_neg));
+        metrics.add("attack_oracle_true_neg", u64::from(self.oracle_true_neg));
         for (cause, count) in &self.causes {
             let name = match cause {
                 DetectionCause::GuardFail => "attack_cause_guard_fail",
@@ -223,6 +270,27 @@ impl AttackSummary {
             TrialOutcome::Benign => self.benign += 1,
             TrialOutcome::Timeout => self.timeout += 1,
             TrialOutcome::Inapplicable => {}
+        }
+    }
+
+    /// Scores one oracle prediction against the trial's dynamic ground
+    /// truth. Only *effective* trials count — benign mutations exercise
+    /// nothing (the oracle may flag an edit in dead code that never runs)
+    /// and inapplicable ones mutated nothing.
+    fn record_prediction(&mut self, outcome: TrialOutcome, predicted: bool) {
+        let caught = matches!(
+            outcome,
+            TrialOutcome::Detected { .. } | TrialOutcome::Faulted
+        );
+        let effective = !matches!(outcome, TrialOutcome::Benign | TrialOutcome::Inapplicable);
+        if !effective {
+            return;
+        }
+        match (predicted, caught) {
+            (true, true) => self.oracle_true_pos += 1,
+            (true, false) => self.oracle_false_pos += 1,
+            (false, true) => self.oracle_false_neg += 1,
+            (false, false) => self.oracle_true_neg += 1,
         }
     }
 }
@@ -324,6 +392,8 @@ pub fn evaluate(
     let mut rng = Rng64::new(seed);
     let mut summary = AttackSummary::default();
     let mut machine: Option<Machine<SecMon>> = None;
+    // One coverage analysis of the pristine image serves every trial.
+    let oracle = crate::oracle::StaticOracle::new(&protected.image, &protected.secmon);
     for _ in 0..trials {
         let mut mutated = protected.clone();
         if !attack.apply(&mut mutated.image, &mut rng) {
@@ -331,6 +401,7 @@ pub fn evaluate(
             continue;
         }
         let flagged = static_detects(&mutated.image, &mutated.secmon);
+        let predicted = oracle.predicts(&protected.image, &mutated.image);
         match machine.as_mut() {
             Some(m) => mutated.rearm(m),
             None => machine = Some(mutated.machine(sim.clone())),
@@ -343,6 +414,7 @@ pub fn evaluate(
         let first_failure = recorder.borrow().first_failure();
         let (outcome, cause) = classify_result(&result, first_failure, expected_output);
         summary.record_caused(outcome, flagged, cause);
+        summary.record_prediction(outcome, predicted);
     }
     summary
 }
@@ -504,6 +576,17 @@ loop:   addu $s0, $s0, $t0
     }
 
     #[test]
+    fn oracle_scores_track_dynamic_ground_truth() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let summary = evaluate(&protected, &expected, Attack::BitFlip, 40, 7, &fast_sim());
+        assert!(summary.oracle_trials() > 0, "{summary:?}");
+        assert!(summary.oracle_precision() >= 0.9, "{summary:?}");
+        assert!(summary.oracle_recall() >= 0.9, "{summary:?}");
+    }
+
+    #[test]
     fn guard_detections_are_attributed_to_guard_fail_events() {
         let (image, expected) = sample();
         let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
@@ -560,6 +643,7 @@ loop:   addu $s0, $s0, $t0
         // a freshly constructed machine.
         let mut rng = Rng64::new(9);
         let mut fresh = AttackSummary::default();
+        let oracle = crate::oracle::StaticOracle::new(&protected.image, &protected.secmon);
         for _ in 0..30 {
             let mut mutated = protected.clone();
             if !Attack::BitFlip.apply(&mut mutated.image, &mut rng) {
@@ -567,8 +651,10 @@ loop:   addu $s0, $s0, $t0
                 continue;
             }
             let flagged = static_detects(&mutated.image, &mutated.secmon);
+            let predicted = oracle.predicts(&protected.image, &mutated.image);
             let (outcome, cause) = classify(&mutated, &expected, &fast_sim());
             fresh.record_caused(outcome, flagged, cause);
+            fresh.record_prediction(outcome, predicted);
         }
         assert_eq!(reused, fresh, "re-arming must not change classification");
         assert!(reused.applied > 0);

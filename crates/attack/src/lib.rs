@@ -20,9 +20,11 @@
 pub mod analysis;
 pub mod attacks;
 pub mod harness;
+pub mod oracle;
 
 pub use attacks::Attack;
 pub use harness::{
     evaluate, run_trial, run_trial_attributed, static_detects, AttackSummary, DetectionCause,
     TrialOutcome,
 };
+pub use oracle::StaticOracle;

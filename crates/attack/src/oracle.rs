@@ -1,0 +1,131 @@
+//! The static tamper-surface oracle.
+//!
+//! Built once per protected image from the verifier's coverage analysis,
+//! the oracle predicts — *without running anything* — whether the
+//! protection stack will catch a given mutation.  A mutated word is
+//! predicted caught when any of three static facts holds:
+//!
+//! 1. a sound guard window covers it: the rolling MAC over the window no
+//!    longer matches its embedded signature;
+//! 2. a cipher region covers it: the edit lands in ciphertext, so the
+//!    decrypted plaintext garbles unpredictably;
+//! 3. it is reachable plaintext and the new word does not decode: the
+//!    core faults on an illegal instruction — deployed systems treat the
+//!    fault as a tamper signal, the same convention the harness uses for
+//!    [`crate::TrialOutcome::Faulted`].
+//!
+//! The harness scores these predictions against dynamic ground truth
+//! (precision/recall over effective trials), which is how the whole
+//! dataflow engine is validated against simulation.
+
+use flexprot_isa::{Image, Inst};
+use flexprot_secmon::SecMonConfig;
+use flexprot_verify::SurfaceMap;
+
+/// Per-image static detection predictor.
+#[derive(Debug, Clone)]
+pub struct StaticOracle {
+    map: SurfaceMap,
+}
+
+impl StaticOracle {
+    /// Analyses `image` under `config` once; `predicts` is then pure
+    /// table lookup per trial.
+    pub fn new(image: &Image, config: &SecMonConfig) -> StaticOracle {
+        StaticOracle {
+            map: flexprot_verify::surface(image, config),
+        }
+    }
+
+    /// The underlying surface map.
+    pub fn map(&self) -> &SurfaceMap {
+        &self.map
+    }
+
+    /// Whether the stack is predicted to catch the difference between
+    /// `original` and `mutated`.  Structural edits (length, base or entry
+    /// changes) are always predicted caught; in-place attacks never make
+    /// them.
+    pub fn predicts(&self, original: &Image, mutated: &Image) -> bool {
+        if original.text.len() != mutated.text.len()
+            || original.text_base != mutated.text_base
+            || original.entry != mutated.entry
+        {
+            return true;
+        }
+        for (i, (&before, &after)) in original.text.iter().zip(&mutated.text).enumerate() {
+            if before == after {
+                continue;
+            }
+            if self.map.covered[i] || self.map.encrypted[i] {
+                return true;
+            }
+            if self.map.reachable[i] && Inst::decode(after).is_err() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexprot_core::{protect, GuardConfig, ProtectionConfig};
+
+    fn guarded_image() -> (Image, flexprot_core::Protected) {
+        let image = flexprot_asm::assemble_or_panic(
+            r#"
+main:   li   $t0, 5
+        li   $t1, 0
+loop:   add  $t1, $t1, $t0
+        addi $t0, $t0, -1
+        bne  $t0, $zero, loop
+        add  $a0, $t1, $zero
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#,
+        );
+        let config = ProtectionConfig::new().with_guards(GuardConfig {
+            key: 0x0BAD_C0DE_CAFE_F00D,
+            ..GuardConfig::with_density(1.0)
+        });
+        let protected = protect(&image, &config, None).expect("protect");
+        (image, protected)
+    }
+
+    #[test]
+    fn covered_word_edits_are_predicted_caught() {
+        let (_, protected) = guarded_image();
+        let oracle = StaticOracle::new(&protected.image, &protected.secmon);
+        assert!(oracle.map().full_reachable_coverage(), "density 1.0");
+        let mut mutated = protected.image.clone();
+        mutated.text[0] ^= 1 << 3;
+        assert!(oracle.predicts(&protected.image, &mutated));
+    }
+
+    #[test]
+    fn identical_images_are_predicted_benign() {
+        let (_, protected) = guarded_image();
+        let oracle = StaticOracle::new(&protected.image, &protected.secmon);
+        assert!(!oracle.predicts(&protected.image, &protected.image.clone()));
+    }
+
+    #[test]
+    fn unprotected_gap_edit_is_predicted_missed_unless_undecodable() {
+        let image =
+            flexprot_asm::assemble_or_panic("main: li $t0, 1\n li $t0, 2\n li $v0, 10\n syscall\n");
+        let oracle = StaticOracle::new(&image, &flexprot_secmon::SecMonConfig::transparent());
+        // A decodable substitution in an unprotected image slips through.
+        let mut substituted = image.clone();
+        substituted.text[0] = image.text[1];
+        assert!(!oracle.predicts(&image, &substituted));
+        // An undecodable word on a reachable path is predicted to fault.
+        let mut garbage = image.clone();
+        garbage.text[0] = 0xFFFF_FFFF;
+        assert!(Inst::decode(0xFFFF_FFFF).is_err());
+        assert!(oracle.predicts(&image, &garbage));
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! Options:
 //!   --quick           reduced workloads/trials (CI smoke run)
-//!   --only <ID>       run a single experiment (T1..T6, F1..F6)
+//!   --only <ID>       run a single experiment (T1..T6, T9, F1..F6)
 //!   --jobs <N>        worker threads (default: FLEXPROT_JOBS or CPU count)
 //!   --csv <DIR>       write one CSV per table into DIR (default: results)
 //!   --no-csv          skip CSV output
@@ -92,6 +92,7 @@ fn main() {
         ("T5", flexprot_bench::t5_diversity),
         ("T6", flexprot_bench::t6_stealth),
         ("F6", flexprot_bench::f6_latency),
+        ("T9", flexprot_bench::t9_static_oracle),
     ];
 
     let wall = std::time::Instant::now();

@@ -18,6 +18,7 @@
 //! | T5 | re-protection diversity |
 //! | T6 | static stealth metrics |
 //! | F6 | detection-latency distribution |
+//! | T9 | static-oracle precision/recall vs dynamic detection |
 //!
 //! Every runner takes a shared [`Engine`]: its grid cells fan out over the
 //! engine's worker pool, compiled images / profiled baselines / protected
@@ -742,6 +743,69 @@ pub fn f6_latency(params: &Params, engine: &Engine) -> Table {
     table
 }
 
+/// T9 — static-oracle accuracy: the verifier's tamper-surface map as a
+/// predictor of dynamic detection.
+///
+/// Reuses the T3 attack grid; the harness already scores every applied
+/// trial against the [`flexprot_attack::StaticOracle`] built from the
+/// protected image's surface map, so this table only aggregates the
+/// confusion matrices. A trial counts when its dynamic outcome is
+/// effective (not benign/inapplicable): positive = the stack caught it
+/// (detected or faulted), predicted positive = the oracle said it would.
+pub fn t9_static_oracle(params: &Params, engine: &Engine) -> Table {
+    let attack_workloads = params.attack_workloads();
+    let mut table = Table::new(
+        "T9",
+        "Static tamper-surface oracle vs dynamic ground truth",
+        &[
+            "config",
+            "attack",
+            "effective",
+            "tp",
+            "fp",
+            "fn",
+            "tn",
+            "precision",
+            "recall",
+        ],
+    );
+    let mut labels = Vec::new();
+    let mut jobs = Vec::new();
+    for (config_name, config) in t3_configs() {
+        for attack in Attack::all() {
+            labels.push((config_name, attack));
+            for &w in &attack_workloads {
+                jobs.push(Job::new(w, config.clone()).with_attack(AttackSpec {
+                    attack,
+                    trials: params.trials(),
+                    seed: 0xA77A_C4E5,
+                }));
+            }
+        }
+    }
+    let summaries = engine.run_jobs(&jobs, |ctx, job| ctx.attack_cell(job));
+    for ((config_name, attack), chunk) in
+        labels.iter().zip(summaries.chunks(attack_workloads.len()))
+    {
+        let mut agg = AttackSummary::default();
+        for summary in chunk {
+            agg.merge(summary);
+        }
+        table.push(vec![
+            (*config_name).to_owned(),
+            attack.name().to_owned(),
+            agg.oracle_trials().to_string(),
+            agg.oracle_true_pos.to_string(),
+            agg.oracle_false_pos.to_string(),
+            agg.oracle_false_neg.to_string(),
+            agg.oracle_true_neg.to_string(),
+            format!("{:.3}", agg.oracle_precision()),
+            format!("{:.3}", agg.oracle_recall()),
+        ]);
+    }
+    table
+}
+
 /// Runs every experiment in order over a shared engine (artifacts built by
 /// one experiment are reused by the next).
 pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
@@ -758,6 +822,7 @@ pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
         t5_diversity(params, engine),
         t6_stealth(params, engine),
         f6_latency(params, engine),
+        t9_static_oracle(params, engine),
     ]
 }
 
@@ -842,6 +907,26 @@ mod tests {
         };
         assert!(rate("guards", "bit-flip") >= rate("none", "bit-flip"));
         assert!(rate("guards+enc", "code-inject") >= rate("none", "code-inject"));
+    }
+
+    #[test]
+    fn t9_oracle_is_accurate_on_protected_configs() {
+        let t = t9_static_oracle(&QUICK, &engine());
+        // Aggregate the confusion matrices over every protected config
+        // (the "none" rows characterise the unprotected baseline, where
+        // only decode faults are predictable).
+        let (mut tp, mut fp, mut fneg, mut effective) = (0u64, 0u64, 0u64, 0u64);
+        for row in t.rows.iter().filter(|r| r[0] != "none") {
+            effective += row[2].parse::<u64>().unwrap();
+            tp += row[3].parse::<u64>().unwrap();
+            fp += row[4].parse::<u64>().unwrap();
+            fneg += row[5].parse::<u64>().unwrap();
+        }
+        assert!(effective > 0, "{t}");
+        let precision = tp as f64 / (tp + fp).max(1) as f64;
+        let recall = tp as f64 / (tp + fneg).max(1) as f64;
+        assert!(precision >= 0.9, "precision {precision:.3}\n{t}");
+        assert!(recall >= 0.9, "recall {recall:.3}\n{t}");
     }
 
     #[test]

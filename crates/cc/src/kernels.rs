@@ -1,0 +1,97 @@
+//! Reference MiniC benchmark kernels.
+//!
+//! Shared by the protection-matrix differential tests, the `fpsurface`
+//! scanner and documentation examples, so every consumer lints and runs
+//! the *same* golden programs.  Each kernel prints a small deterministic
+//! result via the `print`/`printc` intrinsics and exits 0.
+
+/// 8-queens solution counter (recursive backtracking): prints `92`.
+pub const QUEENS: &str = r#"
+int col[8];
+
+int solve(int row) {
+    if (row == 8) { return 1; }
+    int count = 0;
+    for (int c = 0; c < 8; c = c + 1) {
+        int ok = 1;
+        for (int r = 0; r < row; r = r + 1) {
+            int d = col[r] - c;
+            if (d < 0) { d = 0 - d; }
+            if (col[r] == c || d == row - r) { ok = 0; }
+        }
+        if (ok) {
+            col[row] = c;
+            count = count + solve(row + 1);
+        }
+    }
+    return count;
+}
+
+int main() { print(solve(0)); return 0; }
+"#;
+
+/// Sieve of Eratosthenes below 200: prints prime count and prime sum.
+pub const SIEVE: &str = r#"
+int flags[200];
+
+int main() {
+    int n = 200;
+    int count = 0;
+    int sum = 0;
+    for (int i = 2; i < n; i = i + 1) { flags[i] = 1; }
+    for (int i = 2; i < n; i = i + 1) {
+        if (flags[i]) {
+            count = count + 1;
+            sum = sum + i;
+            for (int j = i + i; j < n; j = j + i) { flags[j] = 0; }
+        }
+    }
+    print(count);
+    printc(32);
+    print(sum);
+    return 0;
+}
+"#;
+
+/// Collatz record holder for 1..=120: prints the argument and its step
+/// count.
+pub const COLLATZ: &str = r#"
+int steps(int n) {
+    int s = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        s = s + 1;
+    }
+    return s;
+}
+
+int main() {
+    int best = 0;
+    int arg = 1;
+    for (int i = 1; i <= 120; i = i + 1) {
+        int s = steps(i);
+        if (s > best) { best = s; arg = i; }
+    }
+    print(arg);
+    printc(32);
+    print(best);
+    return 0;
+}
+"#;
+
+/// Every named kernel, in a stable order.
+pub fn all() -> [(&'static str, &'static str); 3] {
+    [("queens", QUEENS), ("sieve", SIEVE), ("collatz", COLLATZ)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_compiles() {
+        for (name, src) in all() {
+            crate::compile_to_image(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

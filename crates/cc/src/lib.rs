@@ -35,6 +35,7 @@
 
 pub mod ast;
 pub mod codegen;
+pub mod kernels;
 pub mod lexer;
 pub mod parser;
 

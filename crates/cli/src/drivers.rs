@@ -462,22 +462,25 @@ pub struct LintSummary {
 }
 
 /// `fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] [--allow L,..]
-/// [--csv] [--lints]`.
+/// [--format human|csv|json] [--csv] [--surface] [--lints]`.
 ///
 /// Statically verifies the protection contract of an image against its
 /// monitor configuration (transparent configuration if `--secmon` is
 /// omitted). `--deny`/`--allow` take comma-separated lint IDs or names;
-/// `--csv` switches to machine-readable output; `--lints` prints the lint
-/// table and exits.
+/// `--format` selects the report rendering (`--csv` is a shorthand for
+/// `--format csv`; `json` emits the stable `flexprot-lint-v1` document);
+/// `--surface` prints the static tamper-surface map
+/// (`flexprot-surface-v1` JSON) instead of the lint report; `--lints`
+/// prints the lint table and exits.
 ///
 /// # Errors
 ///
 /// Reports I/O, format and policy failures. Findings are reported in the
 /// summary, not as errors.
 pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
-    use flexprot_verify::{lint_by_id, verify_with_policy, LintPolicy, LINTS};
+    use flexprot_verify::{analyze, lint_by_id, LintPolicy, LINTS};
 
-    let args = parse(raw_args, &["secmon", "deny", "allow"])?;
+    let args = parse(raw_args, &["secmon", "deny", "allow", "format"])?;
     if args.has("lints") {
         let mut out = String::new();
         for lint in LINTS {
@@ -494,9 +497,20 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
     let [input] = args.positional.as_slice() else {
         return Err(CliError(
             "usage: fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] \
-             [--allow L,..] [--csv] [--lints]"
+             [--allow L,..] [--format human|csv|json] [--csv] [--surface] \
+             [--lints]"
                 .to_owned(),
         ));
+    };
+    let format = match args.value("format") {
+        None if args.has("csv") => "csv",
+        None => "human",
+        Some(f @ ("human" | "csv" | "json")) => f,
+        Some(other) => {
+            return Err(CliError(format!(
+                "--format: unknown format `{other}` (expected human, csv or json)"
+            )));
+        }
     };
     let image = load_image(input)?;
     let config = match args.value("secmon") {
@@ -521,14 +535,182 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
             .collect()
     };
     let policy = LintPolicy::new(&list("deny")?, &list("allow")?).map_err(CliError)?;
-    let report = verify_with_policy(&image, &config, &policy);
+    let verification = analyze(&image, &config, &policy);
+    let report = if args.has("surface") {
+        verification.surface.to_json()
+    } else {
+        match format {
+            "csv" => verification.report.render_csv(),
+            "json" => verification.report.render_json(),
+            _ => verification.report.render_human(),
+        }
+    };
     Ok(LintSummary {
-        report: if args.has("csv") {
-            report.render_csv()
-        } else {
-            report.render_human()
-        },
-        exit_code: i32::from(!report.is_clean()),
+        report,
+        exit_code: i32::from(!verification.report.is_clean()),
+    })
+}
+
+/// `fpsurface [--programs a,b,..] [--jobs N] [--csv <out.csv>]` — lint
+/// every golden program of the protection matrix and tabulate its static
+/// tamper surface.
+///
+/// The grid crosses the reference MiniC kernels
+/// ([`flexprot_cc::kernels`]) and three assembly workloads with the seven
+/// protection-matrix cells (no protection, guards at two densities,
+/// encryption at three granularities, guards+encryption). Each cell
+/// protects the program, runs the full static analysis
+/// ([`flexprot_verify::analyze`]) on the shipped image, and reports one
+/// CSV row; cells fan out over `--jobs` workers through the batched
+/// execution engine and the rows are identical whatever the worker count.
+/// The suggested exit code is 1 when any cell has error-severity
+/// findings, which is how CI gates on it.
+///
+/// # Errors
+///
+/// Reports unknown program names, compilation and I/O failures.
+pub fn fpsurface(raw_args: &[String]) -> Result<LintSummary, CliError> {
+    use flexprot_verify::{LintPolicy, Severity};
+
+    let args = parse(raw_args, &["programs", "jobs", "csv"])?;
+    if !args.positional.is_empty() {
+        return Err(CliError(
+            "usage: fpsurface [--programs a,b,..] [--jobs N] [--csv <out.csv>]".to_owned(),
+        ));
+    }
+
+    // The golden programs: reference MiniC kernels plus assembly
+    // workloads, the same set the protection-matrix tests sweep.
+    let mut programs: Vec<(String, Image)> = Vec::new();
+    for (name, source) in flexprot_cc::kernels::all() {
+        let image = flexprot_cc::compile_to_image(source)
+            .map_err(|e| CliError(format!("{name}: internal: {e}")))?;
+        programs.push((name.to_owned(), image));
+    }
+    for name in ["rle", "bitcount", "fir"] {
+        let workload = flexprot_workloads::by_name(name)
+            .ok_or_else(|| CliError(format!("workload `{name}` missing")))?;
+        programs.push((name.to_owned(), workload.image()));
+    }
+    if let Some(filter) = args.value("programs") {
+        let wanted: Vec<&str> = filter
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let known: Vec<String> = programs.iter().map(|(n, _)| n.clone()).collect();
+        for name in &wanted {
+            if !known.iter().any(|k| k == name) {
+                return Err(CliError(format!(
+                    "--programs: unknown program `{name}`; known: {}",
+                    known.join(", ")
+                )));
+            }
+        }
+        programs.retain(|(name, _)| wanted.iter().any(|w| w == name));
+    }
+
+    let guards = |density: f64| GuardConfig {
+        key: 0x0BAD_C0DE_CAFE_F00D,
+        ..GuardConfig::with_density(density)
+    };
+    let enc = |granularity: Granularity| EncryptConfig {
+        granularity,
+        ..EncryptConfig::whole_program(0x5EED_5EED_5EED_5EED)
+    };
+    let cells: Vec<(&str, ProtectionConfig)> = vec![
+        ("none", ProtectionConfig::new()),
+        (
+            "guards-0.25",
+            ProtectionConfig::new().with_guards(guards(0.25)),
+        ),
+        (
+            "guards-1.0",
+            ProtectionConfig::new().with_guards(guards(1.0)),
+        ),
+        (
+            "enc-program",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Program)),
+        ),
+        (
+            "enc-function",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Function)),
+        ),
+        (
+            "enc-block",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Block)),
+        ),
+        (
+            "guards-enc",
+            ProtectionConfig::new()
+                .with_guards(guards(1.0))
+                .with_encryption(enc(Granularity::Function)),
+        ),
+    ];
+
+    let mut jobs: Vec<(String, String, Image, ProtectionConfig)> = Vec::new();
+    for (name, image) in &programs {
+        for (cell, config) in &cells {
+            jobs.push((
+                name.clone(),
+                (*cell).to_owned(),
+                image.clone(),
+                config.clone(),
+            ));
+        }
+    }
+
+    let workers: usize = args.parse_or("jobs", default_jobs())?;
+    let engine = Engine::new(workers);
+    let results = engine.run_jobs(&jobs, |_ctx, (name, cell, image, config)| {
+        let protected = protect(image, config, None)
+            .map_err(|e| CliError(format!("{name}/{cell}: protect failed: {e}")))?;
+        let verification =
+            flexprot_verify::analyze(&protected.image, &protected.secmon, &LintPolicy::default());
+        let map = &verification.surface;
+        Ok::<_, CliError>(vec![
+            name.clone(),
+            cell.clone(),
+            map.text_words.to_string(),
+            map.reachable.iter().filter(|&&r| r).count().to_string(),
+            map.sound_windows.to_string(),
+            map.covered_words().to_string(),
+            map.encrypted_words().to_string(),
+            map.surface_words().to_string(),
+            verification.report.count(Severity::Error).to_string(),
+            verification.report.count(Severity::Warning).to_string(),
+            map.full_reachable_coverage().to_string(),
+        ])
+    });
+
+    let header = [
+        "program",
+        "cell",
+        "text_words",
+        "reachable",
+        "windows",
+        "covered",
+        "encrypted",
+        "surface",
+        "errors",
+        "warnings",
+        "full_coverage",
+    ];
+    let mut csv = header.join(",");
+    csv.push('\n');
+    let mut errors = 0usize;
+    for result in results {
+        let row = result?;
+        errors += row[8].parse::<usize>().unwrap_or(0);
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    if let Some(path) = args.value("csv") {
+        write(path, csv.as_bytes())?;
+    }
+    Ok(LintSummary {
+        report: csv,
+        exit_code: i32::from(errors > 0),
     })
 }
 
@@ -880,6 +1062,91 @@ mod tests {
         // a note-level lint can make it fail.
         let ok = fplint(&strs(&[&fpx])).unwrap();
         assert_eq!(ok.exit_code, 0, "{}", ok.report);
+    }
+
+    #[test]
+    fn fplint_formats_and_surface_map() {
+        use flexprot_trace::json;
+
+        let src = write_sample_source("lintfmt.s");
+        let fpx = tmp("lintfmt.fpx");
+        let prot = tmp("lintfmt.prot.fpx");
+        let fpm = tmp("lintfmt.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+        ]))
+        .unwrap();
+
+        // --format json emits the stable flexprot-lint-v1 document.
+        let lint = fplint(&strs(&[&prot, "--secmon", &fpm, "--format", "json"])).unwrap();
+        let doc = json::parse(&lint.report).expect("lint report is JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("flexprot-lint-v1")
+        );
+        assert!(doc.get("stats").is_some(), "{}", lint.report);
+
+        // --format csv matches the --csv shorthand.
+        let long = fplint(&strs(&[&prot, "--secmon", &fpm, "--format", "csv"])).unwrap();
+        let short = fplint(&strs(&[&prot, "--secmon", &fpm, "--csv"])).unwrap();
+        assert_eq!(long, short);
+
+        // --surface prints the tamper-surface map; every reachable word
+        // is covered at density 1.0.
+        let surface = fplint(&strs(&[&prot, "--secmon", &fpm, "--surface"])).unwrap();
+        assert_eq!(surface.exit_code, 0, "{}", surface.report);
+        let map = json::parse(&surface.report).expect("surface map is JSON");
+        assert_eq!(
+            map.get("schema").and_then(json::Value::as_str),
+            Some("flexprot-surface-v1")
+        );
+        assert_eq!(
+            map.get("surface_words").and_then(json::Value::as_u64),
+            Some(0)
+        );
+
+        assert!(fplint(&strs(&[&prot, "--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn fpsurface_grid_is_deterministic_and_clean() {
+        // A trimmed grid (one kernel, one workload) keeps the test fast;
+        // the full six-program grid runs in CI against the checked-in
+        // baseline.
+        let serial = fpsurface(&strs(&["--programs", "collatz,rle", "--jobs", "1"])).unwrap();
+        assert_eq!(serial.exit_code, 0, "{}", serial.report);
+        let lines: Vec<&str> = serial.report.lines().collect();
+        assert_eq!(
+            lines[0],
+            "program,cell,text_words,reachable,windows,covered,encrypted,surface,\
+             errors,warnings,full_coverage"
+        );
+        // 2 programs x 7 cells, plus the header.
+        assert_eq!(lines.len(), 15, "{}", serial.report);
+        assert!(
+            lines.iter().any(|l| l.starts_with("collatz,guards-1.0,")),
+            "{}",
+            serial.report
+        );
+        // Full-density cells prove full reachable coverage.
+        for line in &lines[1..] {
+            if line.contains(",guards-1.0,") || line.contains(",guards-enc,") {
+                assert!(line.ends_with(",true"), "{line}");
+            }
+        }
+
+        let parallel = fpsurface(&strs(&["--programs", "collatz,rle", "--jobs", "4"])).unwrap();
+        assert_eq!(serial, parallel);
+
+        assert!(fpsurface(&strs(&["--programs", "bogus"])).is_err());
+        assert!(fpsurface(&strs(&["stray-positional"])).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Driver logic for the command-line toolchain.
 //!
-//! Each binary (`fpasm`, `fpobjdump`, `fpprotect`, `fprun`, `fplint`) is a thin
-//! wrapper around a driver function here, so the full argument-parsing and
-//! I/O logic is unit-testable without spawning processes.
+//! Each binary (`fpasm`, `fpobjdump`, `fpprotect`, `fprun`, `fplint`,
+//! `fpsweep`, `fpsurface`) is a thin wrapper around a driver function here,
+//! so the full argument-parsing and I/O logic is unit-testable without
+//! spawning processes.
 //!
 //! A complete protected build-and-run pipeline:
 //!
@@ -19,5 +20,6 @@ pub mod args;
 pub mod drivers;
 
 pub use drivers::{
-    fpasm, fpcc, fplint, fpobjdump, fpprotect, fprun, fpsweep, CliError, LintSummary, RunSummary,
+    fpasm, fpcc, fplint, fpobjdump, fpprotect, fprun, fpsurface, fpsweep, CliError, LintSummary,
+    RunSummary,
 };

@@ -169,6 +169,13 @@ impl Protected {
         machine.reset_with_monitor(&self.image, SecMon::new(self.secmon.clone()));
     }
 
+    /// The static tamper-surface map of the shipped image: per-word guard
+    /// coverage plus the ranked list of words no rolling-MAC window or
+    /// cipher region covers (see `flexprot-verify`).
+    pub fn surface_map(&self) -> flexprot_verify::SurfaceMap {
+        flexprot_verify::surface(&self.image, &self.secmon)
+    }
+
     /// Runs the protected program to completion.
     pub fn run(&self, config: SimConfig) -> RunResult {
         self.machine(config).run()

@@ -100,6 +100,24 @@ impl SecMonConfig {
     pub fn site_count(&self) -> usize {
         self.sites.len()
     }
+
+    /// The hash-window start for a guard site: the nearest registered
+    /// window start at or before the site (equal when the block body is
+    /// empty). This is the rule the hardware applies when it decides
+    /// where a rolling window began; static analyses must use the same
+    /// one.
+    pub fn window_of(&self, site_addr: u32) -> Option<u32> {
+        self.window_starts.range(..=site_addr).next_back().copied()
+    }
+
+    /// Every guard site with a resolvable window, as
+    /// `(window_start, site_addr, site)` triples in address order — the
+    /// guard-window metadata static analyzers consume.
+    pub fn guard_windows(&self) -> impl Iterator<Item = (u32, u32, &GuardSite)> {
+        self.sites
+            .iter()
+            .filter_map(|(&addr, site)| self.window_of(addr).map(|w| (w, addr, site)))
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +151,18 @@ mod tests {
     #[test]
     fn default_site_uses_sig_symbols() {
         assert_eq!(GuardSite::default().symbols, SIG_SYMBOLS);
+    }
+
+    #[test]
+    fn window_of_picks_the_nearest_start_at_or_before_the_site() {
+        let mut c = SecMonConfig::transparent();
+        c.window_starts.extend([0x100, 0x140, 0x200]);
+        c.sites.insert(0x150, GuardSite::default());
+        c.sites.insert(0x140, GuardSite::default());
+        assert_eq!(c.window_of(0x150), Some(0x140));
+        assert_eq!(c.window_of(0x140), Some(0x140), "empty body: start == site");
+        assert_eq!(c.window_of(0x0FF), None);
+        let triples: Vec<(u32, u32)> = c.guard_windows().map(|(w, s, _)| (w, s)).collect();
+        assert_eq!(triples, vec![(0x140, 0x140), (0x140, 0x150)]);
     }
 }

@@ -23,6 +23,7 @@ use flexprot_secmon::guard::{
 };
 use flexprot_secmon::SecMonConfig;
 
+use crate::coverage::GuardWindow;
 use crate::diag::{self, Severity};
 use crate::flow::{EdgeKind, Flow};
 use crate::Sink;
@@ -138,11 +139,14 @@ pub(crate) fn check_flow(ctx: &Ctx, sink: &mut Sink) {
 /// keyed hash over the decrypted body and tail words — at their addresses,
 /// as the hardware will — and compares it with the signature spelled by the
 /// guard operand fields. Returns the number of sites whose signature was
-/// recomputed.
-pub(crate) fn check_guards(ctx: &Ctx, sink: &mut Sink) -> usize {
+/// recomputed, plus one [`GuardWindow`] record per site whose window
+/// resolved to word indices (sound only when every check passed) — the
+/// raw material of the coverage analysis.
+pub(crate) fn check_guards(ctx: &Ctx, sink: &mut Sink) -> (usize, Vec<GuardWindow>) {
     let config = ctx.config;
     let len = ctx.text.len();
     let mut checked = 0usize;
+    let mut windows: Vec<GuardWindow> = Vec::new();
 
     // Reachable direct control-transfer targets, for mid-window entry
     // detection.
@@ -199,7 +203,7 @@ pub(crate) fn check_guards(ctx: &Ctx, sink: &mut Sink) -> usize {
 
         // The hash window starts at the nearest registered window start at
         // or before the site (equal when the block body is empty).
-        let Some(&window) = config.window_starts.range(..=site_addr).next_back() else {
+        let Some(window) = config.window_of(site_addr) else {
             sink.emit(
                 &diag::MALFORMED_WINDOW,
                 Some(site_addr),
@@ -240,35 +244,141 @@ pub(crate) fn check_guards(ctx: &Ctx, sink: &mut Sink) -> usize {
             );
             window_ok = false;
         }
-        if !(shape_ok && window_ok) {
-            continue;
+        let mut sound = shape_ok && window_ok;
+        if sound {
+            let mut hasher = WindowHasher::new(config.guard_key);
+            for b in wi..si {
+                hasher.absorb(ctx.addr_of(b), ctx.text[b]);
+            }
+            for t in 0..site.tail as usize {
+                let index = si + symbols + t;
+                hasher.absorb(ctx.addr_of(index), ctx.text[index]);
+            }
+            let computed = hasher.digest();
+            let syms: Vec<u8> = (0..symbols)
+                .map(|k| decode_guard_symbol(ctx.text[si + k]))
+                .collect();
+            let claimed = signature_from_symbols(&syms);
+            checked += 1;
+            if claimed != computed {
+                sink.emit(
+                    &diag::SIGNATURE_MISMATCH,
+                    Some(site_addr),
+                    format!(
+                        "embedded signature {claimed:#010x} != recomputed window hash {computed:#010x}"
+                    ),
+                );
+                sound = false;
+            }
         }
+        windows.push(GuardWindow {
+            site_addr,
+            start: wi,
+            site: si,
+            symbols,
+            tail: site.tail as usize,
+            sound,
+        });
+    }
+    (checked, windows)
+}
 
-        let mut hasher = WindowHasher::new(config.guard_key);
-        for b in wi..si {
-            hasher.absorb(ctx.addr_of(b), ctx.text[b]);
+/// Coverage lints on top of the dataflow analyses (`FP6xx`).
+///
+/// FP601: a guard word writing a register that is live after it corrupts
+/// the very computation it protects (only `$zero`-writing guards are
+/// transparent). FP602: an unreachable guard never streams past the
+/// monitor, so its window is dead weight. FP603/FP604 partition the
+/// uncovered reachable protected words: words with no completed dominating
+/// check are outright coverage gaps, words dominated by a check are
+/// editable only *after* it fires (a residual edit window).
+pub(crate) fn check_coverage(
+    ctx: &Ctx,
+    coverage: &crate::coverage::Coverage,
+    live: &crate::liveness::Liveness,
+    sink: &mut Sink,
+) {
+    for w in &coverage.windows {
+        for k in 0..w.symbols {
+            let i = w.site + k;
+            let Some(inst) = ctx.flow.decoded[i] else {
+                continue;
+            };
+            let Some(r) = inst.def() else { continue };
+            if r != flexprot_isa::Reg::ZERO && live.live_out_has(i, r) {
+                sink.emit(
+                    &diag::GUARD_CLOBBERS_LIVE,
+                    Some(ctx.addr_of(i)),
+                    format!(
+                        "guard word at site {:#010x} overwrites {r}, which is live after it",
+                        w.site_addr
+                    ),
+                );
+            }
         }
-        for t in 0..site.tail as usize {
-            let index = si + symbols + t;
-            hasher.absorb(ctx.addr_of(index), ctx.text[index]);
-        }
-        let computed = hasher.digest();
-        let syms: Vec<u8> = (0..symbols)
-            .map(|k| decode_guard_symbol(ctx.text[si + k]))
-            .collect();
-        let claimed = signature_from_symbols(&syms);
-        checked += 1;
-        if claimed != computed {
+    }
+
+    for w in &coverage.windows {
+        if w.sound && !ctx.flow.reachable[w.site] {
             sink.emit(
-                &diag::SIGNATURE_MISMATCH,
-                Some(site_addr),
-                format!(
-                    "embedded signature {claimed:#010x} != recomputed window hash {computed:#010x}"
-                ),
+                &diag::DEAD_GUARD,
+                Some(w.site_addr),
+                "guard sequence is unreachable, so its window is never checked".to_owned(),
             );
         }
     }
-    checked
+
+    if ctx.config.sites.is_empty() {
+        return;
+    }
+    let mut gaps = 0usize;
+    let mut shadowed = 0usize;
+    for i in 0..ctx.text.len() {
+        if !ctx.flow.reachable[i] || !coverage.covered_by[i].is_empty() {
+            continue;
+        }
+        let addr = ctx.addr_of(i);
+        if !ctx.config.in_protected(addr) {
+            continue;
+        }
+        if coverage.dominated[i] {
+            shadowed += 1;
+            if shadowed <= MAX_PER_LINT {
+                sink.emit(
+                    &diag::POST_CHECK_WINDOW,
+                    Some(addr),
+                    "protected word is uncovered but dominated by a completed guard check"
+                        .to_owned(),
+                );
+            }
+        } else {
+            gaps += 1;
+            if gaps <= MAX_PER_LINT {
+                sink.emit(
+                    &diag::COVERAGE_GAP,
+                    Some(addr),
+                    "reachable protected word is covered by no guard window".to_owned(),
+                );
+            }
+        }
+    }
+    if gaps > MAX_PER_LINT {
+        sink.emit(
+            &diag::COVERAGE_GAP,
+            None,
+            format!("... and {} more uncovered word(s)", gaps - MAX_PER_LINT),
+        );
+    }
+    if shadowed > MAX_PER_LINT {
+        sink.emit(
+            &diag::POST_CHECK_WINDOW,
+            None,
+            format!(
+                "... and {} more post-check word(s)",
+                shadowed - MAX_PER_LINT
+            ),
+        );
+    }
 }
 
 /// Guard-coverage dataflow: the maximum value the monitor's spacing counter

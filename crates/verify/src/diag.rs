@@ -104,6 +104,14 @@ lints! {
         "encryption is configured but a guarded range is not fully covered by it");
     UNREACHABLE_TEXT = ("FP501", "unreachable-text", Note,
         "a text word is unreachable from the entry point and every symbol");
+    GUARD_CLOBBERS_LIVE = ("FP601", "guard-clobbers-live-register", Error,
+        "a guard-site word overwrites a register that is live after the site");
+    DEAD_GUARD = ("FP602", "dead-guard", Warning,
+        "a guard sequence is unreachable, so its window never streams past the monitor");
+    COVERAGE_GAP = ("FP603", "coverage-gap", Warning,
+        "a reachable protected word is covered by no guard window and no dominating check");
+    POST_CHECK_WINDOW = ("FP604", "post-check-edit-window", Note,
+        "a reachable protected word is uncovered but dominated by a completed guard check");
 }
 
 /// Looks up a lint by its stable ID or short name.
@@ -203,6 +211,13 @@ pub struct VerifyStats {
     /// Maximum statically possible spacing-counter value, when the
     /// spacing analysis ran and found the counter bounded.
     pub max_spacing: Option<u64>,
+    /// Guard windows that passed every structural and cryptographic check.
+    pub sound_windows: usize,
+    /// Text words covered by at least one sound guard window.
+    pub covered_words: usize,
+    /// Text words covered by no sound window and no cipher region — the
+    /// static tamper surface.
+    pub surface_words: usize,
 }
 
 /// The product of a verification run: findings plus statistics.
@@ -242,7 +257,8 @@ impl Report {
         }
         out.push_str(&format!(
             "{} error(s), {} warning(s), {} note(s); \
-             {} text words ({} reachable), {} guard site(s), {} relocation(s)",
+             {} text words ({} reachable), {} guard site(s), {} relocation(s); \
+             {} sound window(s) covering {} word(s), {} on the tamper surface",
             self.count(Severity::Error),
             self.count(Severity::Warning),
             self.count(Severity::Note),
@@ -250,11 +266,58 @@ impl Report {
             self.stats.reachable_words,
             self.stats.sites_checked,
             self.stats.relocs_checked,
+            self.stats.sound_windows,
+            self.stats.covered_words,
+            self.stats.surface_words,
         ));
         match self.stats.max_spacing {
             Some(max) => out.push_str(&format!("; max guard-free path {max}\n")),
             None => out.push('\n'),
         }
+        out
+    }
+
+    /// Renders the report as a stable JSON document (`flexprot-lint-v1`).
+    ///
+    /// Schema: `{"schema","clean","stats":{...},"findings":[{"id","name",
+    /// "severity","addr","message"}]}` with `addr` a `"0x…"` string or
+    /// `null`.  Field order is fixed; consumers may rely on it.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"flexprot-lint-v1\"");
+        out.push_str(&format!(",\"clean\":{}", self.is_clean()));
+        let s = &self.stats;
+        out.push_str(&format!(
+            ",\"stats\":{{\"text_words\":{},\"reachable_words\":{},\"sites_checked\":{},\
+             \"relocs_checked\":{},\"max_spacing\":{},\"sound_windows\":{},\
+             \"covered_words\":{},\"surface_words\":{}}}",
+            s.text_words,
+            s.reachable_words,
+            s.sites_checked,
+            s.relocs_checked,
+            s.max_spacing
+                .map_or_else(|| "null".to_owned(), |m| m.to_string()),
+            s.sound_windows,
+            s.covered_words,
+            s.surface_words,
+        ));
+        out.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let addr = f
+                .addr
+                .map_or_else(|| "null".to_owned(), |a| format!("\"{a:#010x}\""));
+            out.push_str(&format!(
+                "{{\"id\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"addr\":{addr},\
+                 \"message\":\"{}\"}}",
+                f.id,
+                f.name,
+                f.severity,
+                json_escape(&f.message)
+            ));
+        }
+        out.push_str("]}");
         out
     }
 
@@ -271,6 +334,23 @@ impl Report {
         }
         out
     }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -316,6 +396,48 @@ mod tests {
             policy.effective(&UNREACHABLE_TEXT, Severity::Note),
             Severity::Error
         );
+    }
+
+    #[test]
+    fn every_registered_lint_resolves_by_id_and_name_in_policies() {
+        for lint in LINTS {
+            assert_eq!(lint_by_id(lint.id).unwrap().id, lint.id);
+            assert_eq!(lint_by_id(lint.name).unwrap().id, lint.id, "{}", lint.name);
+            // `--deny <id>` and `--deny <name>` must build identical
+            // policies with identical effect, for every lint.
+            let by_id = LintPolicy::new(&[lint.id], &[]).unwrap();
+            let by_name = LintPolicy::new(&[lint.name], &[]).unwrap();
+            assert_eq!(by_id, by_name, "{}", lint.id);
+            assert_eq!(
+                by_id.effective(lint, lint.default_severity),
+                Severity::Error
+            );
+            let allow = LintPolicy::new::<&str>(&[], &[lint.name]).unwrap();
+            assert_eq!(allow.effective(lint, lint.default_severity), Severity::Note);
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let report = Report {
+            findings: vec![Finding {
+                id: "FP102",
+                name: "signature-mismatch",
+                severity: Severity::Error,
+                addr: Some(0x0040_0010),
+                message: "claimed \"1\"\ncomputed 2".to_owned(),
+            }],
+            stats: VerifyStats::default(),
+        };
+        let json = report.render_json();
+        assert!(
+            json.starts_with("{\"schema\":\"flexprot-lint-v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"clean\":false"), "{json}");
+        assert!(json.contains("\"addr\":\"0x00400010\""), "{json}");
+        assert!(json.contains("claimed \\\"1\\\"\\ncomputed 2"), "{json}");
+        assert!(json.contains("\"max_spacing\":null"), "{json}");
     }
 
     #[test]

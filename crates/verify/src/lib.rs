@@ -11,11 +11,19 @@
 //! written from the raw bits up, so a bug on either side of the N-version
 //! pair surfaces as a finding instead of cancelling out.
 //!
-//! [`verify`] runs five analyses (see [`checks`](crate::checks) — flow,
-//! guards, spacing, relocations, regions) and returns a [`Report`] of
-//! [`Finding`]s with stable lint IDs (`fplint --lints` enumerates them).
-//! An image is *clean* when no finding has [`Severity::Error`]; policies
-//! ([`LintPolicy`]) can promote or demote individual lints.
+//! [`verify`] runs six analyses (see [`checks`](crate::checks) — flow,
+//! guards, spacing, relocations, regions, coverage) and returns a
+//! [`Report`] of [`Finding`]s with stable lint IDs (`fplint --lints`
+//! enumerates them). An image is *clean* when no finding has
+//! [`Severity::Error`]; policies ([`LintPolicy`]) can promote or demote
+//! individual lints.
+//!
+//! The coverage analyses run on a worklist dataflow framework
+//! ([`dataflow`]) instantiated for backward register liveness
+//! ([`liveness`]), minimum reachability depth, and basic-block dominators
+//! ([`domtree`] over [`cfg`]). On top of them [`analyze`] also produces a
+//! [`SurfaceMap`] — the ranked list of text words no guard window or
+//! cipher region covers, i.e. the static tamper surface.
 //!
 //! ```
 //! use flexprot_verify::{verify, Severity};
@@ -27,12 +35,21 @@
 //! # Ok::<(), flexprot_asm::AsmError>(())
 //! ```
 
+pub mod cfg;
 mod checks;
+pub mod coverage;
+pub mod dataflow;
 pub mod diag;
+pub mod domtree;
 pub mod flow;
+pub mod liveness;
 
+pub use cfg::{BasicBlock, Cfg};
+pub use coverage::{Coverage, GuardWindow, SurfaceEntry, SurfaceMap};
 pub use diag::{lint_by_id, Finding, Lint, LintPolicy, Report, Severity, VerifyStats, LINTS};
+pub use domtree::DomTree;
 pub use flow::{Edge, EdgeKind, Flow};
+pub use liveness::Liveness;
 
 use flexprot_isa::Image;
 use flexprot_secmon::SecMonConfig;
@@ -76,6 +93,16 @@ pub fn decrypt_text(image: &Image, config: &SecMonConfig) -> Vec<u32> {
         .collect()
 }
 
+/// Everything one analysis pass produces: the lint report and the static
+/// tamper-surface map derived from the same flow recovery.
+#[derive(Debug, Clone)]
+pub struct Verification {
+    /// Findings and statistics.
+    pub report: Report,
+    /// Ranked uncovered words (`flexprot-surface-v1`).
+    pub surface: SurfaceMap,
+}
+
 /// Verifies `image` against `config` under the default lint policy.
 pub fn verify(image: &Image, config: &SecMonConfig) -> Report {
     verify_with_policy(image, config, &LintPolicy::default())
@@ -84,6 +111,17 @@ pub fn verify(image: &Image, config: &SecMonConfig) -> Report {
 /// Verifies `image` against `config`, applying `policy`'s severity
 /// overrides to every finding.
 pub fn verify_with_policy(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Report {
+    analyze(image, config, policy).report
+}
+
+/// The static tamper-surface map of `image` under `config`.
+pub fn surface(image: &Image, config: &SecMonConfig) -> SurfaceMap {
+    analyze(image, config, &LintPolicy::default()).surface
+}
+
+/// Runs every analysis once, returning both the report and the surface
+/// map ([`verify`]/[`surface`] are thin projections of this).
+pub fn analyze(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Verification {
     let text = decrypt_text(image, config);
     let flow = Flow::recover(image, &text);
     let ctx = checks::Ctx {
@@ -97,18 +135,32 @@ pub fn verify_with_policy(image: &Image, config: &SecMonConfig, policy: &LintPol
         findings: Vec::new(),
     };
     checks::check_flow(&ctx, &mut sink);
-    let sites_checked = checks::check_guards(&ctx, &mut sink);
+    let (sites_checked, windows) = checks::check_guards(&ctx, &mut sink);
     let max_spacing = checks::check_spacing(&ctx, &mut sink);
     let relocs_checked = checks::check_relocs(&ctx, &mut sink);
     checks::check_regions(&ctx, &mut sink);
-    Report {
+
+    let cfg = Cfg::build(image, &ctx.flow);
+    let doms = cfg
+        .entry
+        .map(|entry| domtree::dominators(entry, &cfg.succs));
+    let live = liveness::analyze(&ctx.flow);
+    let cov = coverage::analyze(&ctx.flow, &cfg, doms.as_ref(), windows);
+    checks::check_coverage(&ctx, &cov, &live, &mut sink);
+    let surface = coverage::surface_map(image, config, &ctx.flow, &cfg, &cov);
+
+    let report = Report {
         stats: VerifyStats {
             text_words: ctx.text.len(),
             reachable_words: ctx.flow.reachable_count(),
             sites_checked,
             relocs_checked,
             max_spacing,
+            sound_windows: surface.sound_windows,
+            covered_words: surface.covered_words(),
+            surface_words: surface.surface_words(),
         },
         findings: sink.findings,
-    }
+    };
+    Verification { report, surface }
 }

@@ -1,8 +1,9 @@
 //! Protection-matrix differential tests: every cell of the configuration
 //! grid must preserve program semantics exactly.
 //!
-//! Three MiniC kernels (8-queens, sieve of Eratosthenes, Collatz records)
-//! are checked against Rust reference implementations computed in-test,
+//! Three MiniC kernels (8-queens, sieve of Eratosthenes, Collatz records,
+//! from `flexprot::cc::kernels`) are checked against Rust reference
+//! implementations computed in-test,
 //! and three assembly workloads against their recorded reference outputs —
 //! each across {no protection, guards at two densities, encryption at all
 //! three keying granularities, guards+encryption}.
@@ -80,30 +81,6 @@ fn compile(name: &str, source: &str) -> Image {
 
 // ---------------------------------------------------------------- 8-queens
 
-const QUEENS_C: &str = r#"
-int col[8];
-
-int solve(int row) {
-    if (row == 8) { return 1; }
-    int count = 0;
-    for (int c = 0; c < 8; c = c + 1) {
-        int ok = 1;
-        for (int r = 0; r < row; r = r + 1) {
-            int d = col[r] - c;
-            if (d < 0) { d = 0 - d; }
-            if (col[r] == c || d == row - r) { ok = 0; }
-        }
-        if (ok) {
-            col[row] = c;
-            count = count + solve(row + 1);
-        }
-    }
-    return count;
-}
-
-int main() { print(solve(0)); return 0; }
-"#;
-
 /// Rust reference: number of 8-queens placements.
 fn queens_ref() -> String {
     fn solve(row: usize, cols: &mut [i32; 8]) -> u32 {
@@ -128,33 +105,11 @@ fn queens_ref() -> String {
 
 #[test]
 fn queens_matrix() {
-    let image = compile("queens", QUEENS_C);
+    let image = compile("queens", flexprot::cc::kernels::QUEENS);
     assert_matrix("queens", &image, &queens_ref());
 }
 
 // ------------------------------------------------------------------ sieve
-
-const SIEVE_C: &str = r#"
-int flags[200];
-
-int main() {
-    int n = 200;
-    int count = 0;
-    int sum = 0;
-    for (int i = 2; i < n; i = i + 1) { flags[i] = 1; }
-    for (int i = 2; i < n; i = i + 1) {
-        if (flags[i]) {
-            count = count + 1;
-            sum = sum + i;
-            for (int j = i + i; j < n; j = j + i) { flags[j] = 0; }
-        }
-    }
-    print(count);
-    printc(32);
-    print(sum);
-    return 0;
-}
-"#;
 
 /// Rust reference: prime count and prime sum below 200.
 fn sieve_ref() -> String {
@@ -177,35 +132,11 @@ fn sieve_ref() -> String {
 
 #[test]
 fn sieve_matrix() {
-    let image = compile("sieve", SIEVE_C);
+    let image = compile("sieve", flexprot::cc::kernels::SIEVE);
     assert_matrix("sieve", &image, &sieve_ref());
 }
 
 // ---------------------------------------------------------------- collatz
-
-const COLLATZ_C: &str = r#"
-int steps(int n) {
-    int s = 0;
-    while (n != 1) {
-        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
-        s = s + 1;
-    }
-    return s;
-}
-
-int main() {
-    int best = 0;
-    int arg = 1;
-    for (int i = 1; i <= 120; i = i + 1) {
-        int s = steps(i);
-        if (s > best) { best = s; arg = i; }
-    }
-    print(arg);
-    printc(32);
-    print(best);
-    return 0;
-}
-"#;
 
 /// Rust reference: the 1..=120 Collatz record holder and its step count.
 fn collatz_ref() -> String {
@@ -234,7 +165,7 @@ fn collatz_ref() -> String {
 
 #[test]
 fn collatz_matrix() {
-    let image = compile("collatz", COLLATZ_C);
+    let image = compile("collatz", flexprot::cc::kernels::COLLATZ);
     assert_matrix("collatz", &image, &collatz_ref());
 }
 

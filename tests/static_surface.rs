@@ -1,0 +1,193 @@
+//! Acceptance tests for the static tamper-surface analysis.
+//!
+//! Two claims are checked against the same protection-matrix grid the
+//! differential tests sweep:
+//!
+//! 1. the coverage analysis *proves* full reachable coverage for every
+//!    fully-protected cell, and *refutes* it with a concrete witness word
+//!    for every under-protected one;
+//! 2. the static oracle built from the surface map predicts dynamic
+//!    detection with precision and recall ≥ 0.9 on the default attack
+//!    sweep.
+
+use flexprot::attack::{evaluate, Attack, AttackSummary};
+use flexprot::core::{protect, EncryptConfig, Granularity, GuardConfig, ProtectionConfig};
+use flexprot::isa::Image;
+use flexprot::sim::SimConfig;
+use flexprot::verify::SurfaceMap;
+
+const GUARD_KEY: u64 = 0x0BAD_C0DE_CAFE_F00D;
+const ENC_KEY: u64 = 0x5EED_5EED_5EED_5EED;
+
+fn guards(density: f64) -> GuardConfig {
+    GuardConfig {
+        key: GUARD_KEY,
+        ..GuardConfig::with_density(density)
+    }
+}
+
+fn enc(granularity: Granularity) -> EncryptConfig {
+    EncryptConfig {
+        granularity,
+        ..EncryptConfig::whole_program(ENC_KEY)
+    }
+}
+
+/// The golden images: MiniC kernels plus assembly workloads.
+fn programs() -> Vec<(String, Image)> {
+    let mut out: Vec<(String, Image)> = flexprot::cc::kernels::all()
+        .into_iter()
+        .map(|(name, src)| {
+            let image =
+                flexprot::cc::compile_to_image(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name.to_owned(), image)
+        })
+        .collect();
+    for name in ["rle", "bitcount", "fir"] {
+        let workload = flexprot::workloads::by_name(name).expect("kernel");
+        out.push((name.to_owned(), workload.image()));
+    }
+    out
+}
+
+/// Internal consistency: the entry list is exactly the set of words that
+/// no sound window and no cipher region covers.
+fn assert_consistent(label: &str, image: &Image, map: &SurfaceMap) {
+    assert_eq!(map.text_words, image.text.len(), "{label}");
+    assert_eq!(map.covered.len(), map.text_words, "{label}");
+    let mut expected = Vec::new();
+    for i in 0..map.text_words {
+        if !map.covered[i] && !map.encrypted[i] {
+            expected.push(image.text_base + 4 * i as u32);
+        }
+    }
+    let mut listed: Vec<u32> = map.entries.iter().map(|e| e.addr).collect();
+    listed.sort_unstable();
+    assert_eq!(listed, expected, "{label}: entries vs bitmaps");
+    for e in &map.entries {
+        let i = ((e.addr - image.text_base) / 4) as usize;
+        assert_eq!(e.reachable, map.reachable[i], "{label}: {:#010x}", e.addr);
+    }
+}
+
+#[test]
+fn coverage_is_proved_or_refuted_for_every_matrix_cell() {
+    // `full` records what the analysis must conclude for the cell: a
+    // proof of full reachable coverage, or a refutation with a witness.
+    let cells: Vec<(&str, ProtectionConfig, Option<bool>)> = vec![
+        ("none", ProtectionConfig::new(), Some(false)),
+        (
+            "guards d=0.25",
+            ProtectionConfig::new().with_guards(guards(0.25)),
+            Some(false),
+        ),
+        (
+            "guards d=1.0",
+            ProtectionConfig::new().with_guards(guards(1.0)),
+            Some(true),
+        ),
+        (
+            "enc program",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Program)),
+            Some(true),
+        ),
+        // Function/block keying covers what the front end mapped into
+        // regions; whether that is everything depends on the program, so
+        // only the verdict's witness obligation is checked.
+        (
+            "enc function",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Function)),
+            None,
+        ),
+        (
+            "enc block",
+            ProtectionConfig::new().with_encryption(enc(Granularity::Block)),
+            None,
+        ),
+        (
+            "guards+enc",
+            ProtectionConfig::new()
+                .with_guards(guards(1.0))
+                .with_encryption(enc(Granularity::Function)),
+            Some(true),
+        ),
+    ];
+    for (name, image) in programs() {
+        for (cell, config, full) in &cells {
+            let label = format!("{name}/{cell}");
+            let protected = protect(&image, config, None)
+                .unwrap_or_else(|e| panic!("{label}: protect failed: {e}"));
+            let map = protected.surface_map();
+            assert_consistent(&label, &protected.image, &map);
+            let proved = map.full_reachable_coverage();
+            if let Some(expected) = full {
+                assert_eq!(proved, *expected, "{label}: verdict");
+            }
+            if !proved {
+                // The refutation must carry a concrete witness: a
+                // reachable word no protection mechanism covers.
+                let witness = map
+                    .entries
+                    .iter()
+                    .find(|e| e.reachable)
+                    .unwrap_or_else(|| panic!("{label}: refuted without witness"));
+                let i = ((witness.addr - protected.image.text_base) / 4) as usize;
+                assert!(
+                    !map.covered[i] && !map.encrypted[i] && map.reachable[i],
+                    "{label}: witness {:#010x} is not a gap",
+                    witness.addr
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn static_oracle_meets_precision_and_recall_targets() {
+    let workload = flexprot::workloads::by_name("rle").expect("kernel");
+    let image = workload.image();
+    let expected = workload.expected_output();
+    let configs = vec![
+        ("guards", ProtectionConfig::new().with_guards(guards(1.0))),
+        (
+            "enc",
+            ProtectionConfig::new().with_encryption(EncryptConfig::whole_program(ENC_KEY)),
+        ),
+        (
+            "guards+enc",
+            ProtectionConfig::new()
+                .with_guards(guards(1.0))
+                .with_encryption(EncryptConfig::whole_program(ENC_KEY)),
+        ),
+    ];
+    let sim = SimConfig::default();
+    let mut agg = AttackSummary::default();
+    for (name, config) in configs {
+        let protected = protect(&image, &config, None).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for attack in Attack::all() {
+            let summary = evaluate(&protected, &expected, attack, 10, 0xA77A_C4E5, &sim);
+            agg.merge(&summary);
+        }
+    }
+    assert!(agg.oracle_trials() > 0);
+    assert!(
+        agg.oracle_precision() >= 0.9,
+        "precision {:.3} over {} trials (tp {} fp {} fn {} tn {})",
+        agg.oracle_precision(),
+        agg.oracle_trials(),
+        agg.oracle_true_pos,
+        agg.oracle_false_pos,
+        agg.oracle_false_neg,
+        agg.oracle_true_neg,
+    );
+    assert!(
+        agg.oracle_recall() >= 0.9,
+        "recall {:.3} over {} trials (tp {} fp {} fn {} tn {})",
+        agg.oracle_recall(),
+        agg.oracle_trials(),
+        agg.oracle_true_pos,
+        agg.oracle_false_pos,
+        agg.oracle_false_neg,
+        agg.oracle_true_neg,
+    );
+}
