@@ -100,4 +100,37 @@ diff -u results/surface_baseline.csv "$EXEC_DIR/surface.csv" || {
 }
 echo "surface baseline OK"
 
+echo "== guard network: fpnetmap baseline + fplint --guardnet schema =="
+# Map the guard network of every protection-matrix cell: abstract
+# checksum proofs (proven/mismatch/unproven) and graph shape (edges,
+# SCCs, min cut) per cell. A mismatch or error column going non-zero
+# means the emitter and the verifier disagree about a checksum constant;
+# any other diff against the baseline means network shape or proof power
+# changed (regenerate with the same command and commit the new baseline).
+# The grid must also be byte-identical whatever the worker count.
+cargo run --quiet --release -p flexprot-cli --bin fpnetmap -- \
+    --jobs 1 --csv "$EXEC_DIR/guardnet.csv" > /dev/null || {
+    echo "fpnetmap reported checksum mismatches"; exit 1;
+}
+cargo run --quiet --release -p flexprot-cli --bin fpnetmap -- \
+    --jobs 4 --csv "$EXEC_DIR/guardnet4.csv" > /dev/null
+diff -u "$EXEC_DIR/guardnet.csv" "$EXEC_DIR/guardnet4.csv" || {
+    echo "guard-network grid differs between --jobs 1 and --jobs 4"; exit 1;
+}
+diff -u results/guardnet_baseline.csv "$EXEC_DIR/guardnet.csv" || {
+    echo "guard network diverged from results/guardnet_baseline.csv"
+    exit 1
+}
+# The machine-readable guard-network report keeps its stable schema keys.
+cargo run --quiet --release -p flexprot-cli --bin fplint -- \
+    "$OBS_DIR/smoke.prot.fpx" --secmon "$OBS_DIR/smoke.fpm" --guardnet \
+    > "$OBS_DIR/guardnet.json"
+for key in '"schema":"flexprot-guardnet-v1"' '"guards"' '"nodes"' '"edges"' \
+           '"min_cut"' '"proof"' '"weak_links"'; do
+    grep -q "$key" "$OBS_DIR/guardnet.json" || {
+        echo "guardnet document missing $key"; exit 1;
+    }
+done
+echo "guard network OK"
+
 echo "CI OK"

@@ -419,6 +419,112 @@ pub fn evaluate(
     summary
 }
 
+/// Runs one mutated image through the shared trial machinery, scoring the
+/// static baseline and the oracle prediction like [`evaluate`] does.
+fn run_planned_trial(
+    protected: &Protected,
+    mutated: &Protected,
+    expected_output: &str,
+    oracle: &crate::oracle::StaticOracle,
+    machine: &mut Option<Machine<SecMon>>,
+    sim: &SimConfig,
+    summary: &mut AttackSummary,
+) {
+    let flagged = static_detects(&mutated.image, &mutated.secmon);
+    let predicted = oracle.predicts(&protected.image, &mutated.image);
+    match machine.as_mut() {
+        Some(m) => mutated.rearm(m),
+        None => *machine = Some(mutated.machine(sim.clone())),
+    }
+    let m = machine.as_mut().expect("machine built on first trial");
+    let (sink, recorder) = Recorder::new().shared();
+    m.monitor_mut().attach_sink(sink.clone());
+    m.attach_sink(sink);
+    let result = m.run();
+    let first_failure = recorder.borrow().first_failure();
+    let (outcome, cause) = classify_result(&result, first_failure, expected_output);
+    summary.record_caused(outcome, flagged, cause);
+    summary.record_prediction(outcome, predicted);
+}
+
+/// The graph-aware attacker: NOPs out single words following the
+/// [`crate::StaticOracle::target_plan`] ranking — cheapest defeat
+/// closures (min-cut guards, uncovered surface words) first, cycling
+/// through the plan when `trials` exceeds it. Deterministic: no
+/// randomness is consumed. Compare against [`evaluate_random_nop`] with
+/// the same trial count to measure what the network analysis buys the
+/// attacker.
+pub fn evaluate_targeted(
+    protected: &Protected,
+    expected_output: &str,
+    trials: u32,
+    sim: &SimConfig,
+) -> AttackSummary {
+    let mut summary = AttackSummary::default();
+    let oracle = crate::oracle::StaticOracle::new(&protected.image, &protected.secmon);
+    let nop = flexprot_isa::Inst::NOP.encode();
+    let targets: Vec<usize> = oracle
+        .target_plan()
+        .into_iter()
+        .filter(|&i| protected.image.text[i] != nop)
+        .collect();
+    let mut machine: Option<Machine<SecMon>> = None;
+    for trial in 0..trials {
+        let Some(&index) = targets.get(trial as usize % targets.len().max(1)) else {
+            summary.record(TrialOutcome::Inapplicable, false);
+            continue;
+        };
+        let mut mutated = protected.clone();
+        mutated.image.text[index] = nop;
+        run_planned_trial(
+            protected,
+            &mutated,
+            expected_output,
+            &oracle,
+            &mut machine,
+            sim,
+            &mut summary,
+        );
+    }
+    summary
+}
+
+/// The baseline the targeted attacker is judged against: NOPs out one
+/// *uniformly random* text word per trial — the same single-word edit
+/// budget as [`evaluate_targeted`], without the plan.
+pub fn evaluate_random_nop(
+    protected: &Protected,
+    expected_output: &str,
+    trials: u32,
+    seed: u64,
+    sim: &SimConfig,
+) -> AttackSummary {
+    let mut rng = Rng64::new(seed);
+    let mut summary = AttackSummary::default();
+    let oracle = crate::oracle::StaticOracle::new(&protected.image, &protected.secmon);
+    let nop = flexprot_isa::Inst::NOP.encode();
+    let mut machine: Option<Machine<SecMon>> = None;
+    for _ in 0..trials {
+        let index = rng.index(protected.image.text.len());
+        if protected.image.text[index] == nop {
+            summary.record(TrialOutcome::Inapplicable, false);
+            continue;
+        }
+        let mut mutated = protected.clone();
+        mutated.image.text[index] = nop;
+        run_planned_trial(
+            protected,
+            &mutated,
+            expected_output,
+            &oracle,
+            &mut machine,
+            sim,
+            &mut summary,
+        );
+    }
+    summary
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,6 +764,43 @@ loop:   addu $s0, $s0, $t0
         }
         assert_eq!(reused, fresh, "re-arming must not change classification");
         assert!(reused.applied > 0);
+    }
+
+    #[test]
+    fn targeted_plan_beats_random_nops_on_sparse_guards() {
+        let (image, expected) = sample();
+        // A quarter-density network: most words are uncovered and the
+        // who-checks-whom graph is weakly connected, so the plan's
+        // zero-cost words are real attack surface.
+        let config = ProtectionConfig::new().with_guards(GuardConfig {
+            key: 0x0BAD_C0DE_CAFE_F00D,
+            ..GuardConfig::with_density(0.25)
+        });
+        let protected = protect(&image, &config, None).unwrap();
+        let targeted = evaluate_targeted(&protected, &expected, 40, &fast_sim());
+        let random = evaluate_random_nop(&protected, &expected, 40, 7, &fast_sim());
+        assert!(targeted.applied > 0 && random.applied > 0);
+        assert!(
+            targeted.attacker_success_rate() > random.attacker_success_rate(),
+            "plan-driven NOPs must beat blind NOPs on a weak network:\n\
+             targeted {targeted:?}\nrandom {random:?}"
+        );
+    }
+
+    #[test]
+    fn targeted_attack_is_deterministic_and_contained_by_dense_guards() {
+        let (image, expected) = sample();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let a = evaluate_targeted(&protected, &expected, 25, &fast_sim());
+        let b = evaluate_targeted(&protected, &expected, 25, &fast_sim());
+        assert_eq!(a, b, "no randomness is consumed");
+        assert_eq!(
+            a.wrong_output, 0,
+            "full-density coverage leaves the planner nothing free: {a:?}"
+        );
+        assert!(a.oracle_precision() >= 0.9, "{a:?}");
+        assert!(a.oracle_recall() >= 0.9, "{a:?}");
     }
 
     #[test]

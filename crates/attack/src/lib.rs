@@ -24,7 +24,7 @@ pub mod oracle;
 
 pub use attacks::Attack;
 pub use harness::{
-    evaluate, run_trial, run_trial_attributed, static_detects, AttackSummary, DetectionCause,
-    TrialOutcome,
+    evaluate, evaluate_random_nop, evaluate_targeted, run_trial, run_trial_attributed,
+    static_detects, AttackSummary, DetectionCause, TrialOutcome,
 };
 pub use oracle::StaticOracle;

@@ -1,0 +1,35 @@
+//! T10 bench: guard-network analysis and attack-planning cost.
+//!
+//! Measures the static machinery behind the targeted attacker — building
+//! the [`flexprot_attack::StaticOracle`] (surface map + coverage + guard
+//! network with SCCs, articulation points and the minimum vertex cut)
+//! and ranking every reachable word into a target plan — so regressions
+//! in the graph algorithms or the defeat-closure pricing show up as
+//! wall-clock.
+
+use flexprot_attack::StaticOracle;
+use flexprot_bench::micro::{black_box, Bench};
+use flexprot_core::{protect, GuardConfig, ProtectionConfig};
+
+fn bench(c: &mut Bench) {
+    let config = ProtectionConfig::new().with_guards(GuardConfig {
+        key: 0x0BAD_C0DE_CAFE_F00D,
+        ..GuardConfig::with_density(1.0)
+    });
+    for name in ["rle", "fir", "callgrid"] {
+        let image = flexprot_workloads::by_name(name).expect("kernel").image();
+        let protected = protect(&image, &config, None).expect("protect");
+        let words = protected.image.text.len();
+        c.bench_function(&format!("t10/oracle_{name}_{words}w"), |b| {
+            b.iter(|| StaticOracle::new(black_box(&protected.image), black_box(&protected.secmon)))
+        });
+        let oracle = StaticOracle::new(&protected.image, &protected.secmon);
+        c.bench_function(&format!("t10/plan_{name}_{words}w"), |b| {
+            b.iter(|| black_box(&oracle).target_plan())
+        });
+    }
+}
+
+fn main() {
+    bench(&mut Bench::new());
+}

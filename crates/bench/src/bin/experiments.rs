@@ -5,7 +5,7 @@
 //!
 //! Options:
 //!   --quick           reduced workloads/trials (CI smoke run)
-//!   --only <ID>       run a single experiment (T1..T6, T9, F1..F6)
+//!   --only <ID>       run a single experiment (T1..T6, T9, T10, F1..F6)
 //!   --jobs <N>        worker threads (default: FLEXPROT_JOBS or CPU count)
 //!   --csv <DIR>       write one CSV per table into DIR (default: results)
 //!   --no-csv          skip CSV output
@@ -93,6 +93,7 @@ fn main() {
         ("T6", flexprot_bench::t6_stealth),
         ("F6", flexprot_bench::f6_latency),
         ("T9", flexprot_bench::t9_static_oracle),
+        ("T10", flexprot_bench::t10_guardnet),
     ];
 
     let wall = std::time::Instant::now();

@@ -19,6 +19,7 @@
 //! | T6 | static stealth metrics |
 //! | F6 | detection-latency distribution |
 //! | T9 | static-oracle precision/recall vs dynamic detection |
+//! | T10 | guard-network targeted attack vs random baseline |
 //!
 //! Every runner takes a shared [`Engine`]: its grid cells fan out over the
 //! engine's worker pool, compiled images / profiled baselines / protected
@@ -806,6 +807,75 @@ pub fn t9_static_oracle(params: &Params, engine: &Engine) -> Table {
     table
 }
 
+/// T10 — what the guard-network analysis buys the attacker.
+///
+/// For each attack workload and guard density, runs the plan-driven
+/// single-word NOP attacker (ranked by
+/// [`flexprot_attack::StaticOracle::target_plan`]: cheapest defeat
+/// closures first) against the uniformly random single-word baseline
+/// with the same edit budget, next to the network shape that explains
+/// the gap (sound guards, edges, minimum vertex cut). Both attackers
+/// are deterministic given the seed, so the table is byte-identical
+/// whatever the worker count.
+pub fn t10_guardnet(params: &Params, _engine: &Engine) -> Table {
+    let mut table = Table::new(
+        "T10",
+        "Guard-network targeted attack vs random single-word baseline",
+        &[
+            "workload",
+            "density",
+            "guards",
+            "sound",
+            "edges",
+            "min_cut",
+            "trials",
+            "targeted_success",
+            "random_success",
+        ],
+    );
+    let trials = params.trials() * 5;
+    let sim = SimConfig {
+        max_instructions: 2_000_000,
+        ..SimConfig::default()
+    };
+    for w in params.attack_workloads() {
+        let expected = w.expected_output();
+        for density in [0.25, 1.0] {
+            let config =
+                ProtectionConfig::new().with_guards(guard_config(density, Placement::Uniform));
+            let protected = flexprot_core::protect(&w.image(), &config, None).expect("protect");
+            let v = flexprot_verify::analyze(
+                &protected.image,
+                &protected.secmon,
+                &flexprot_verify::LintPolicy::default(),
+            );
+            let targeted = flexprot_attack::evaluate_targeted(&protected, &expected, trials, &sim);
+            let random = flexprot_attack::evaluate_random_nop(
+                &protected,
+                &expected,
+                trials,
+                0xA77A_C4E5,
+                &sim,
+            );
+            table.push(vec![
+                w.name.to_owned(),
+                format!("{density}"),
+                v.guardnet.nodes.len().to_string(),
+                v.guardnet.sound_count().to_string(),
+                v.guardnet.edges.to_string(),
+                v.guardnet
+                    .min_cut
+                    .as_ref()
+                    .map_or_else(|| "none".to_owned(), |cut| cut.len().to_string()),
+                trials.to_string(),
+                format!("{:.3}", targeted.attacker_success_rate()),
+                format!("{:.3}", random.attacker_success_rate()),
+            ]);
+        }
+    }
+    table
+}
+
 /// Runs every experiment in order over a shared engine (artifacts built by
 /// one experiment are reused by the next).
 pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
@@ -823,6 +893,7 @@ pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
         t6_stealth(params, engine),
         f6_latency(params, engine),
         t9_static_oracle(params, engine),
+        t10_guardnet(params, engine),
     ]
 }
 
@@ -927,6 +998,22 @@ mod tests {
         let recall = tp as f64 / (tp + fneg).max(1) as f64;
         assert!(precision >= 0.9, "precision {precision:.3}\n{t}");
         assert!(recall >= 0.9, "recall {recall:.3}\n{t}");
+    }
+
+    #[test]
+    fn t10_targeting_beats_random_on_the_weak_config() {
+        let t = t10_guardnet(&QUICK, &engine());
+        // Quick mode: rle at densities 0.25 and 1.0.
+        assert_eq!(t.rows.len(), 2);
+        let weak = &t.rows[0];
+        assert_eq!(weak[1], "0.25");
+        // The emitter's windows are disjoint, so the network is edgeless
+        // and already disconnected: cut size 0.
+        assert_eq!(weak[4], "0");
+        assert_eq!(weak[5], "0");
+        let targeted: f64 = weak[7].parse().unwrap();
+        let random: f64 = weak[8].parse().unwrap();
+        assert!(targeted > random, "{t}");
     }
 
     #[test]

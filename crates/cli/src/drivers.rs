@@ -50,6 +50,61 @@ fn load_image(path: &str) -> Result<Image, CliError> {
     Image::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
+/// The shared option block of every batch driver (`fprun`'s multi-image
+/// mode, `fpsurface`, `fpsweep`, `fpnetmap`): worker count plus the CSV
+/// and metrics export paths. Parsing it in one place keeps `--jobs`
+/// semantics identical everywhere — explicit `--jobs 0` is a usage error
+/// (it used to clamp to one worker in some drivers while
+/// `FLEXPROT_JOBS=0` silently fell back to the CPU count).
+#[derive(Debug, Clone)]
+pub(crate) struct BatchOpts {
+    /// Worker threads; defaults to [`default_jobs`] (`FLEXPROT_JOBS` or
+    /// the CPU count).
+    pub workers: usize,
+    /// `--csv <path>`: write the tabular report here.
+    pub csv: Option<String>,
+    /// `--metrics <path>`: write the engine's aggregate
+    /// `flexprot-metrics-v1` document here.
+    pub metrics: Option<String>,
+}
+
+impl BatchOpts {
+    /// The valued option names this block consumes; splice into the
+    /// driver's `parse` list.
+    pub const VALUED: [&'static str; 3] = ["jobs", "csv", "metrics"];
+
+    pub fn from_args(args: &Args) -> Result<BatchOpts, CliError> {
+        let workers: usize = args.parse_or("jobs", default_jobs())?;
+        if workers == 0 {
+            return Err(CliError(
+                "--jobs must be at least 1 (unset FLEXPROT_JOBS or omit --jobs for the default)"
+                    .to_owned(),
+            ));
+        }
+        Ok(BatchOpts {
+            workers,
+            csv: args.value("csv").map(str::to_owned),
+            metrics: args.value("metrics").map(str::to_owned),
+        })
+    }
+
+    /// Writes the CSV report if `--csv` was given.
+    pub fn write_csv(&self, csv: &str) -> Result<(), CliError> {
+        match &self.csv {
+            Some(path) => write(path, csv.as_bytes()),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes the engine's aggregate metrics if `--metrics` was given.
+    pub fn write_metrics(&self, engine: &Engine) -> Result<(), CliError> {
+        match &self.metrics {
+            Some(path) => write(path, engine.metrics().to_json().as_bytes()),
+            None => Ok(()),
+        }
+    }
+}
+
 /// `fpasm <input.s> -o <output.fpx>` — assemble a source file.
 ///
 /// Returns the human-readable success message.
@@ -131,9 +186,13 @@ pub fn fpobjdump(raw_args: &[String]) -> Result<String, CliError> {
             config.halt_on_tamper,
         ));
         out.push_str("  sites:\n");
-        for (addr, site) in &config.sites {
+        for (&addr, site) in &config.sites {
+            let window = config.window_interval(addr).map_or_else(
+                || "window unresolved".to_owned(),
+                |(start, end)| format!("window [{start:#010x}, {end:#010x})"),
+            );
             out.push_str(&format!(
-                "    {addr:#010x}  {} symbols, tail {}\n",
+                "    {addr:#010x}  {} symbols, tail {}, {window}\n",
                 site.symbols, site.tail
             ));
         }
@@ -400,10 +459,10 @@ fn fprun_batch(args: &Args) -> Result<RunSummary, CliError> {
     }
     let sim = fprun_sim(args)?;
     let secmon = fprun_secmon(args)?;
-    let workers: usize = args.parse_or("jobs", default_jobs())?;
-    let want_metrics = args.value("metrics").is_some();
+    let batch = BatchOpts::from_args(args)?;
+    let want_metrics = batch.metrics.is_some();
     let want_stats = args.has("stats");
-    let engine = Engine::new(workers);
+    let engine = Engine::new(batch.workers);
     let results = engine.run_jobs(&args.positional, |ctx, path| {
         let image = load_image(path)?;
         let mut monitor = SecMon::new(secmon.clone());
@@ -442,9 +501,7 @@ fn fprun_batch(args: &Args) -> Result<RunSummary, CliError> {
             exit_code = code;
         }
     }
-    if let Some(path) = args.value("metrics") {
-        write(path, engine.metrics().to_json().as_bytes())?;
-    }
+    batch.write_metrics(&engine)?;
     Ok(RunSummary {
         output: outputs.join("\n"),
         report: lines.join("\n"),
@@ -457,12 +514,12 @@ fn fprun_batch(args: &Args) -> Result<RunSummary, CliError> {
 pub struct LintSummary {
     /// Rendered report (human or CSV).
     pub report: String,
-    /// Suggested process exit code: 0 clean, 1 error findings.
+    /// Suggested process exit code (see [`fplint`]'s exit-code contract).
     pub exit_code: i32,
 }
 
 /// `fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] [--allow L,..]
-/// [--format human|csv|json] [--csv] [--surface] [--lints]`.
+/// [--format human|csv|json] [--csv] [--surface] [--guardnet] [--lints]`.
 ///
 /// Statically verifies the protection contract of an image against its
 /// monitor configuration (transparent configuration if `--secmon` is
@@ -470,8 +527,19 @@ pub struct LintSummary {
 /// `--format` selects the report rendering (`--csv` is a shorthand for
 /// `--format csv`; `json` emits the stable `flexprot-lint-v1` document);
 /// `--surface` prints the static tamper-surface map
-/// (`flexprot-surface-v1` JSON) instead of the lint report; `--lints`
-/// prints the lint table and exits.
+/// (`flexprot-surface-v1` JSON) and `--guardnet` the guard network with
+/// its checksum proofs (`flexprot-guardnet-v1` JSON) instead of the lint
+/// report; `--lints` prints the lint table and exits.
+///
+/// # Exit codes
+///
+/// The contract scripts rely on (stable across releases):
+///
+/// * `0` — the image verifies clean (no error-severity finding under the
+///   effective policy);
+/// * `1` — at least one finding at deny level: the image is rejected;
+/// * `2` — usage or I/O error (unknown flag, unreadable file, bad
+///   policy); the binaries map every [`CliError`] to this code.
 ///
 /// # Errors
 ///
@@ -498,7 +566,7 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
         return Err(CliError(
             "usage: fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] \
              [--allow L,..] [--format human|csv|json] [--csv] [--surface] \
-             [--lints]"
+             [--guardnet] [--lints]"
                 .to_owned(),
         ));
     };
@@ -536,7 +604,9 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
     };
     let policy = LintPolicy::new(&list("deny")?, &list("allow")?).map_err(CliError)?;
     let verification = analyze(&image, &config, &policy);
-    let report = if args.has("surface") {
+    let report = if args.has("guardnet") {
+        verification.guardnet_json()
+    } else if args.has("surface") {
         verification.surface.to_json()
     } else {
         match format {
@@ -572,15 +642,78 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
 pub fn fpsurface(raw_args: &[String]) -> Result<LintSummary, CliError> {
     use flexprot_verify::{LintPolicy, Severity};
 
-    let args = parse(raw_args, &["programs", "jobs", "csv"])?;
+    let mut valued = vec!["programs"];
+    valued.extend(BatchOpts::VALUED);
+    let args = parse(raw_args, &valued)?;
     if !args.positional.is_empty() {
         return Err(CliError(
-            "usage: fpsurface [--programs a,b,..] [--jobs N] [--csv <out.csv>]".to_owned(),
+            "usage: fpsurface [--programs a,b,..] [--jobs N] [--csv <out.csv>] \
+             [--metrics <out.json>]"
+                .to_owned(),
         ));
     }
+    let batch = BatchOpts::from_args(&args)?;
+    let jobs = matrix_jobs(args.value("programs"))?;
+    let engine = Engine::new(batch.workers);
+    let results = engine.run_jobs(&jobs, |_ctx, (name, cell, image, config)| {
+        let protected = protect(image, config, None)
+            .map_err(|e| CliError(format!("{name}/{cell}: protect failed: {e}")))?;
+        let verification =
+            flexprot_verify::analyze(&protected.image, &protected.secmon, &LintPolicy::default());
+        let map = &verification.surface;
+        Ok::<_, CliError>(vec![
+            name.clone(),
+            cell.clone(),
+            map.text_words.to_string(),
+            map.reachable.iter().filter(|&&r| r).count().to_string(),
+            map.sound_windows.to_string(),
+            map.covered_words().to_string(),
+            map.encrypted_words().to_string(),
+            map.surface_words().to_string(),
+            verification.report.count(Severity::Error).to_string(),
+            verification.report.count(Severity::Warning).to_string(),
+            map.full_reachable_coverage().to_string(),
+        ])
+    });
 
-    // The golden programs: reference MiniC kernels plus assembly
-    // workloads, the same set the protection-matrix tests sweep.
+    let header = [
+        "program",
+        "cell",
+        "text_words",
+        "reachable",
+        "windows",
+        "covered",
+        "encrypted",
+        "surface",
+        "errors",
+        "warnings",
+        "full_coverage",
+    ];
+    let mut csv = header.join(",");
+    csv.push('\n');
+    let mut errors = 0usize;
+    for result in results {
+        let row = result?;
+        errors += row[8].parse::<usize>().unwrap_or(0);
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    batch.write_csv(&csv)?;
+    batch.write_metrics(&engine)?;
+    Ok(LintSummary {
+        report: csv,
+        exit_code: i32::from(errors > 0),
+    })
+}
+
+/// The golden protection-matrix grid every batch analyzer sweeps: the
+/// reference MiniC kernels plus three assembly workloads, crossed with
+/// the seven protection cells (no protection, guards at two densities,
+/// encryption at three granularities, guards+encryption). `filter` is
+/// the `--programs` comma list; unknown names are usage errors.
+fn matrix_jobs(
+    filter: Option<&str>,
+) -> Result<Vec<(String, String, Image, ProtectionConfig)>, CliError> {
     let mut programs: Vec<(String, Image)> = Vec::new();
     for (name, source) in flexprot_cc::kernels::all() {
         let image = flexprot_cc::compile_to_image(source)
@@ -592,7 +725,7 @@ pub fn fpsurface(raw_args: &[String]) -> Result<LintSummary, CliError> {
             .ok_or_else(|| CliError(format!("workload `{name}` missing")))?;
         programs.push((name.to_owned(), workload.image()));
     }
-    if let Some(filter) = args.value("programs") {
+    if let Some(filter) = filter {
         let wanted: Vec<&str> = filter
             .split(',')
             .map(str::trim)
@@ -659,55 +792,111 @@ pub fn fpsurface(raw_args: &[String]) -> Result<LintSummary, CliError> {
             ));
         }
     }
+    Ok(jobs)
+}
 
-    let workers: usize = args.parse_or("jobs", default_jobs())?;
-    let engine = Engine::new(workers);
+/// `fpnetmap [--programs a,b,..] [--jobs N] [--csv <out.csv>]
+/// [--metrics <out.json>]` — tabulate the guard network and checksum
+/// proofs of every protection-matrix cell.
+///
+/// Each cell protects the program, builds the who-checks-whom guard
+/// digraph and the abstract-interpretation checksum proofs
+/// ([`flexprot_verify::analyze`]), and reports one CSV row: guard/sound
+/// counts, edge and SCC counts, unchecked/acyclic/articulation tallies,
+/// the minimum-cut size (`none` when no cut disconnects the network),
+/// and the proof verdict tally (proven/mismatch/unproven). Cells fan out
+/// over `--jobs` workers and the rows are identical whatever the worker
+/// count. The suggested exit code is 1 when any cell has an
+/// error-severity finding (a `mismatch` implies one via FP703).
+///
+/// # Errors
+///
+/// Reports unknown program names, compilation and I/O failures.
+pub fn fpnetmap(raw_args: &[String]) -> Result<LintSummary, CliError> {
+    use flexprot_verify::{LintPolicy, Severity, Verdict};
+
+    let mut valued = vec!["programs"];
+    valued.extend(BatchOpts::VALUED);
+    let args = parse(raw_args, &valued)?;
+    if !args.positional.is_empty() {
+        return Err(CliError(
+            "usage: fpnetmap [--programs a,b,..] [--jobs N] [--csv <out.csv>] \
+             [--metrics <out.json>]"
+                .to_owned(),
+        ));
+    }
+    let batch = BatchOpts::from_args(&args)?;
+    let jobs = matrix_jobs(args.value("programs"))?;
+    let engine = Engine::new(batch.workers);
     let results = engine.run_jobs(&jobs, |_ctx, (name, cell, image, config)| {
         let protected = protect(image, config, None)
             .map_err(|e| CliError(format!("{name}/{cell}: protect failed: {e}")))?;
-        let verification =
+        let v =
             flexprot_verify::analyze(&protected.image, &protected.secmon, &LintPolicy::default());
-        let map = &verification.surface;
+        let net = &v.guardnet;
+        let mut proven = 0usize;
+        let mut mismatch = 0usize;
+        let mut unproven = 0usize;
+        for proof in &v.proofs {
+            match proof.verdict {
+                Verdict::Proven { .. } => proven += 1,
+                Verdict::Mismatch { .. } => mismatch += 1,
+                Verdict::Unproven { .. } => unproven += 1,
+            }
+        }
+        let min_cut = match &net.min_cut {
+            None => "none".to_owned(),
+            Some(cut) => cut.len().to_string(),
+        };
         Ok::<_, CliError>(vec![
             name.clone(),
             cell.clone(),
-            map.text_words.to_string(),
-            map.reachable.iter().filter(|&&r| r).count().to_string(),
-            map.sound_windows.to_string(),
-            map.covered_words().to_string(),
-            map.encrypted_words().to_string(),
-            map.surface_words().to_string(),
-            verification.report.count(Severity::Error).to_string(),
-            verification.report.count(Severity::Warning).to_string(),
-            map.full_reachable_coverage().to_string(),
+            net.nodes.len().to_string(),
+            net.sound_count().to_string(),
+            net.edges.to_string(),
+            net.scc_count.to_string(),
+            net.unchecked_count().to_string(),
+            net.acyclic_count().to_string(),
+            net.nodes
+                .iter()
+                .filter(|n| n.articulation)
+                .count()
+                .to_string(),
+            min_cut,
+            proven.to_string(),
+            mismatch.to_string(),
+            unproven.to_string(),
+            v.report.count(Severity::Error).to_string(),
         ])
     });
 
     let header = [
         "program",
         "cell",
-        "text_words",
-        "reachable",
-        "windows",
-        "covered",
-        "encrypted",
-        "surface",
+        "guards",
+        "sound",
+        "edges",
+        "sccs",
+        "unchecked",
+        "acyclic",
+        "articulation",
+        "min_cut",
+        "proven",
+        "mismatch",
+        "unproven",
         "errors",
-        "warnings",
-        "full_coverage",
     ];
     let mut csv = header.join(",");
     csv.push('\n');
     let mut errors = 0usize;
     for result in results {
         let row = result?;
-        errors += row[8].parse::<usize>().unwrap_or(0);
+        errors += row[13].parse::<usize>().unwrap_or(0);
         csv.push_str(&row.join(","));
         csv.push('\n');
     }
-    if let Some(path) = args.value("csv") {
-        write(path, csv.as_bytes())?;
-    }
+    batch.write_csv(&csv)?;
+    batch.write_metrics(&engine)?;
     Ok(LintSummary {
         report: csv,
         exit_code: i32::from(errors > 0),
@@ -807,6 +996,7 @@ mod tests {
         assert!(dump.contains("MONITOR CONFIG"), "{dump}");
         assert!(dump.contains("guard sites"), "{dump}");
         assert!(dump.contains("symbols, tail"), "{dump}");
+        assert!(dump.contains("window [0x"), "{dump}");
     }
 
     #[test]
@@ -1029,13 +1219,15 @@ mod tests {
         assert!(csv.report.starts_with("id,name,severity,addr,message"));
         assert_eq!(csv.exit_code, 1);
 
-        // Allowing every fired lint flips the verdict back to clean.
+        // Allowing every fired lint flips the verdict back to clean
+        // (FP703 is the abstract re-derivation of the tamper FP102
+        // catches concretely).
         let relaxed = fplint(&strs(&[
             &bad,
             "--secmon",
             &fpm,
             "--allow",
-            "FP101,FP102,FP301",
+            "FP101,FP102,FP301,FP703",
         ]))
         .unwrap();
         assert_eq!(relaxed.exit_code, 0, "{}", relaxed.report);
@@ -1113,6 +1305,129 @@ mod tests {
         );
 
         assert!(fplint(&strs(&[&prot, "--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn fplint_guardnet_emits_the_schema_and_exit_codes_hold() {
+        use flexprot_trace::json;
+
+        let src = write_sample_source("lintnet.s");
+        let fpx = tmp("lintnet.fpx");
+        let prot = tmp("lintnet.prot.fpx");
+        let fpm = tmp("lintnet.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+        ]))
+        .unwrap();
+
+        // Exit code 0: clean image; --guardnet replaces the report with
+        // the flexprot-guardnet-v1 document.
+        let net = fplint(&strs(&[&prot, "--secmon", &fpm, "--guardnet"])).unwrap();
+        assert_eq!(net.exit_code, 0, "{}", net.report);
+        let doc = json::parse(&net.report).expect("guardnet report is JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("flexprot-guardnet-v1")
+        );
+        let guards = doc.get("guards").and_then(json::Value::as_u64).unwrap();
+        assert!(guards > 0, "{}", net.report);
+        assert_eq!(
+            doc.get("proven").and_then(json::Value::as_u64),
+            Some(guards),
+            "every untampered constant proves: {}",
+            net.report
+        );
+        assert!(doc.get("nodes").is_some(), "{}", net.report);
+        assert!(doc.get("min_cut").is_some(), "{}", net.report);
+
+        // Exit code 1: a tampered body word must flip the verdict, and
+        // the guardnet document must carry the mismatch verdict. Flip a
+        // word inside the first guard's hashed body (not a symbol word,
+        // which would break guard form and take the FP101 path instead).
+        let mut image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
+        let config = SecMonConfig::from_bytes(&std::fs::read(&fpm).unwrap()).unwrap();
+        let &site = config.sites.keys().next().unwrap();
+        let idx = image.text_index_of(site).unwrap();
+        image.text[idx.checked_sub(1).unwrap()] ^= 1 << 7;
+        let bad = tmp("lintnet.bad.fpx");
+        std::fs::write(&bad, image.to_bytes()).unwrap();
+        let dirty = fplint(&strs(&[&bad, "--secmon", &fpm])).unwrap();
+        assert_eq!(dirty.exit_code, 1, "{}", dirty.report);
+        assert!(dirty.report.contains("FP703"), "{}", dirty.report);
+        let dirty_net = fplint(&strs(&[&bad, "--secmon", &fpm, "--guardnet"])).unwrap();
+        assert!(
+            dirty_net.report.contains("mismatch"),
+            "{}",
+            dirty_net.report
+        );
+
+        // Exit code 2 is the CliError path: the binaries map every Err
+        // to process exit 2, so usage and I/O failures must be Errs.
+        assert!(fplint(&strs(&[])).is_err());
+        assert!(fplint(&strs(&["/nonexistent.fpx"])).is_err());
+        assert!(fplint(&strs(&[&prot, "--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn fpnetmap_grid_is_deterministic_and_reports_the_disconnection() {
+        let serial = fpnetmap(&strs(&["--programs", "collatz,rle", "--jobs", "1"])).unwrap();
+        assert_eq!(serial.exit_code, 0, "{}", serial.report);
+        let lines: Vec<&str> = serial.report.lines().collect();
+        assert_eq!(
+            lines[0],
+            "program,cell,guards,sound,edges,sccs,unchecked,acyclic,articulation,\
+             min_cut,proven,mismatch,unproven,errors"
+        );
+        // 2 programs x 7 cells, plus the header.
+        assert_eq!(lines.len(), 15, "{}", serial.report);
+        for line in &lines[1..] {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 14, "{line}");
+            // No mismatches and no errors on untampered builds.
+            assert_eq!(cols[11], "0", "{line}");
+            assert_eq!(cols[13], "0", "{line}");
+            // The emitter's disjoint windows mean an edgeless digraph:
+            // every guard cell reports zero edges and (with >= 2 guards)
+            // an already-disconnected network (min_cut 0).
+            if cols[1].starts_with("guards") {
+                assert_eq!(cols[4], "0", "{line}");
+                let sound: usize = cols[3].parse().unwrap();
+                if sound >= 2 {
+                    assert_eq!(cols[9], "0", "{line}");
+                }
+                // Every guard gets a verdict: proven or (conservatively,
+                // when a store with an unknown address sits inside the
+                // window) unproven — never a mismatch on a clean build.
+                let proven: usize = cols[10].parse().unwrap();
+                let unproven: usize = cols[12].parse().unwrap();
+                let guards: usize = cols[2].parse().unwrap();
+                assert_eq!(proven + unproven, guards, "{line}");
+            }
+        }
+
+        let parallel = fpnetmap(&strs(&["--programs", "collatz,rle", "--jobs", "4"])).unwrap();
+        assert_eq!(serial, parallel);
+
+        assert!(fpnetmap(&strs(&["--programs", "bogus"])).is_err());
+        assert!(fpnetmap(&strs(&["stray-positional"])).is_err());
+    }
+
+    #[test]
+    fn batch_drivers_reject_zero_jobs() {
+        for err in [
+            fpsurface(&strs(&["--jobs", "0"])).unwrap_err(),
+            fpnetmap(&strs(&["--jobs", "0"])).unwrap_err(),
+            fpsweep(&strs(&["--jobs", "0"])).unwrap_err(),
+        ] {
+            assert!(err.to_string().contains("--jobs"), "{err}");
+        }
     }
 
     #[test]
@@ -1216,10 +1531,9 @@ pub fn fpcc(raw_args: &[String]) -> Result<String, CliError> {
 ///
 /// Reports unknown workloads, malformed densities and I/O failures.
 pub fn fpsweep(raw_args: &[String]) -> Result<String, CliError> {
-    let args = parse(
-        raw_args,
-        &["workloads", "densities", "jobs", "csv", "metrics"],
-    )?;
+    let mut valued = vec!["workloads", "densities"];
+    valued.extend(BatchOpts::VALUED);
+    let args = parse(raw_args, &valued)?;
     if !args.positional.is_empty() {
         return Err(CliError(
             "usage: fpsweep [--workloads a,b,..] [--densities 0.25,1.0,..] \
@@ -1278,8 +1592,8 @@ pub fn fpsweep(raw_args: &[String]) -> Result<String, CliError> {
         spec = spec.config(tag, config);
     }
 
-    let workers: usize = args.parse_or("jobs", default_jobs())?;
-    let engine = Engine::new(workers);
+    let batch = BatchOpts::from_args(&args)?;
+    let engine = Engine::new(batch.workers);
     let jobs = spec.jobs();
     let cells = engine.run_jobs(&jobs, |ctx, job| ctx.run_cell(job));
 
@@ -1305,17 +1619,15 @@ pub fn fpsweep(raw_args: &[String]) -> Result<String, CliError> {
         ]);
     }
 
-    if let Some(path) = args.value("csv") {
+    if batch.csv.is_some() {
         let mut csv = String::new();
         for row in &rows {
             csv.push_str(&row.join(","));
             csv.push('\n');
         }
-        write(path, csv.as_bytes())?;
+        batch.write_csv(&csv)?;
     }
-    if let Some(path) = args.value("metrics") {
-        write(path, engine.metrics().to_json().as_bytes())?;
-    }
+    batch.write_metrics(&engine)?;
 
     let mut widths = vec![0usize; rows[0].len()];
     for row in &rows {

@@ -176,6 +176,18 @@ impl Protected {
         flexprot_verify::surface(&self.image, &self.secmon)
     }
 
+    /// The who-checks-whom guard network of the shipped image, plus the
+    /// abstract-interpretation checksum proof for every guard window (see
+    /// `flexprot-verify`'s `guardnet`/`absint` modules).
+    pub fn guard_net(&self) -> (flexprot_verify::GuardNet, Vec<flexprot_verify::GuardProof>) {
+        let v = flexprot_verify::analyze(
+            &self.image,
+            &self.secmon,
+            &flexprot_verify::LintPolicy::default(),
+        );
+        (v.guardnet, v.proofs)
+    }
+
     /// Runs the protected program to completion.
     pub fn run(&self, config: SimConfig) -> RunResult {
         self.machine(config).run()
@@ -372,6 +384,25 @@ fold:   mul  $t1, $t0, $t0
         assert_eq!(r.outcome, Outcome::Exit(0));
         assert_eq!(r.output, base.output);
         assert!(r.stats.monitor_fill_cycles > 0);
+    }
+
+    #[test]
+    fn guard_net_proves_every_emitted_constant() {
+        let (image, _) = baseline();
+        let config = ProtectionConfig::new().with_guards(GuardConfig::with_density(1.0));
+        let protected = protect(&image, &config, None).unwrap();
+        let (net, proofs) = protected.guard_net();
+        assert_eq!(proofs.len(), protected.report.guards_inserted);
+        // The emitter keeps hash windows disjoint, so the who-checks-whom
+        // digraph of its output is edgeless — the verifier reports that
+        // honestly rather than inventing edges.
+        assert_eq!(net.edges, 0);
+        assert!(
+            proofs
+                .iter()
+                .all(|p| matches!(p.verdict, flexprot_verify::Verdict::Proven { .. })),
+            "every untampered guard constant must be provable: {proofs:?}"
+        );
     }
 
     #[test]

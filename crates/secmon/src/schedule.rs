@@ -110,6 +110,18 @@ impl SecMonConfig {
         self.window_starts.range(..=site_addr).next_back().copied()
     }
 
+    /// The full hashed interval of a guard site, as a half-open byte
+    /// address range `[start, end)`: the window body from
+    /// [`window_of`](Self::window_of) through the guard symbols and the
+    /// signed tail. `None` when `site_addr` is not a registered site or
+    /// no window start precedes it.
+    pub fn window_interval(&self, site_addr: u32) -> Option<(u32, u32)> {
+        let site = self.sites.get(&site_addr)?;
+        let start = self.window_of(site_addr)?;
+        let end = site_addr + 4 * (site.symbols + site.tail);
+        Some((start, end))
+    }
+
     /// Every guard site with a resolvable window, as
     /// `(window_start, site_addr, site)` triples in address order — the
     /// guard-window metadata static analyzers consume.
@@ -164,5 +176,23 @@ mod tests {
         assert_eq!(c.window_of(0x0FF), None);
         let triples: Vec<(u32, u32)> = c.guard_windows().map(|(w, s, _)| (w, s)).collect();
         assert_eq!(triples, vec![(0x140, 0x140), (0x140, 0x150)]);
+    }
+
+    #[test]
+    fn window_interval_spans_body_symbols_and_tail() {
+        let mut c = SecMonConfig::transparent();
+        c.window_starts.extend([0x100, 0x200]);
+        c.sites.insert(
+            0x120,
+            GuardSite {
+                symbols: SIG_SYMBOLS,
+                tail: 2,
+            },
+        );
+        // body [0x100, 0x120), 4 symbols + 2 tail words = 24 bytes.
+        assert_eq!(c.window_interval(0x120), Some((0x100, 0x138)));
+        assert_eq!(c.window_interval(0x200), None, "not a site");
+        c.sites.insert(0x080, GuardSite::default());
+        assert_eq!(c.window_interval(0x080), None, "no window start before it");
     }
 }

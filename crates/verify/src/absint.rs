@@ -1,0 +1,834 @@
+//! Abstract interpretation over the ISA: constant propagation with a
+//! value-set domain, and the symbolic checksum proofs built on it.
+//!
+//! The concrete checks in [`crate::checks`] recompute each guard's window
+//! hash once, over the shipped bytes. This module re-derives the same
+//! conclusion through a different theory: a small abstract interpreter
+//! symbolically executes the program over the lattice
+//!
+//! ```text
+//!            Top                (any word)
+//!         /   |   \
+//!   {a,b}  {a,c}  ...           (value sets, ≤ MAX_SET members)
+//!         \   |   /
+//!      Const(a) Const(b) ...    (single known word)
+//!         \   |   /
+//!            Bot                (no feasible value)
+//! ```
+//!
+//! capping every set at [`MAX_SET`] members — the cap *is* the widening:
+//! a join that would exceed it goes straight to `Top`, so chains are
+//! bounded and the worklist solver in [`crate::dataflow`] terminates.
+//! The register analysis ([`analyze_registers`]) is a forward instance of
+//! that solver whose facts are whole abstract register files; its
+//! transfer function mirrors the simulator's semantics instruction by
+//! instruction (wrapping arithmetic, division by zero yielding zero,
+//! `$zero` pinned to `Const(0)`, loads unknown).
+//!
+//! [`prove_guards`] then replays each guard's checksum loop abstractly:
+//! every window word is valued in the domain, an [`AbsHasher`] streams the
+//! valuations through the *real* [`WindowHasher`] (one concrete hasher per
+//! candidate valuation path), and the resulting digest value is compared
+//! against the signature constant embedded in the guard's operand fields.
+//! The verdict is a proof ([`Verdict::Proven`]), a refutation with a
+//! concrete witness word ([`Verdict::Mismatch`]), or an honest
+//! [`Verdict::Unproven`] with the reason precision ran out. The register
+//! value-sets guard the proof's one soundness obligation: a store
+//! executing inside the hashed window whose abstract address may land in
+//! the text segment would invalidate the static-text assumption, so such
+//! windows are reported unproven rather than proven.
+
+use flexprot_isa::{Image, Inst, Reg};
+use flexprot_secmon::guard::{decode_guard_symbol, signature_from_symbols, WindowHasher};
+use flexprot_secmon::SecMonConfig;
+
+use crate::coverage::GuardWindow;
+use crate::dataflow::{self, Analysis, Direction};
+use crate::flow::Flow;
+
+/// Maximum members of a value set before widening to `Top`.
+pub const MAX_SET: usize = 8;
+
+/// One element of the value-set lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsVal {
+    /// No feasible value (unreachable or empty join).
+    Bot,
+    /// Exactly one feasible value.
+    Const(u32),
+    /// Between 2 and [`MAX_SET`] feasible values, sorted and distinct.
+    Set(Vec<u32>),
+    /// Any value (precision exhausted).
+    Top,
+}
+
+impl AbsVal {
+    /// Builds the smallest lattice element containing every value yielded
+    /// by `values`, widening to `Top` past [`MAX_SET`] distinct members.
+    pub fn from_values<I: IntoIterator<Item = u32>>(values: I) -> AbsVal {
+        let mut vs: Vec<u32> = values.into_iter().collect();
+        vs.sort_unstable();
+        vs.dedup();
+        match vs.len() {
+            0 => AbsVal::Bot,
+            1 => AbsVal::Const(vs[0]),
+            n if n <= MAX_SET => AbsVal::Set(vs),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// The concretisation as a slice, or `None` for `Top`.
+    pub fn values(&self) -> Option<&[u32]> {
+        match self {
+            AbsVal::Bot => Some(&[]),
+            AbsVal::Const(w) => Some(std::slice::from_ref(w)),
+            AbsVal::Set(ws) => Some(ws),
+            AbsVal::Top => None,
+        }
+    }
+
+    /// Whether `w` is a feasible concretisation.
+    pub fn admits(&self, w: u32) -> bool {
+        self.values().is_none_or(|vs| vs.contains(&w))
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        match (self.values(), other.values()) {
+            (Some(a), Some(b)) => AbsVal::from_values(a.iter().chain(b).copied()),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Applies a unary concrete operation pointwise.
+    pub fn map(&self, f: impl Fn(u32) -> u32) -> AbsVal {
+        match self.values() {
+            Some(vs) => AbsVal::from_values(vs.iter().map(|&v| f(v))),
+            None => AbsVal::Top,
+        }
+    }
+
+    /// Applies a binary concrete operation over the cartesian product of
+    /// both concretisations (widening past the set cap as usual).
+    pub fn map2(&self, other: &AbsVal, f: impl Fn(u32, u32) -> u32) -> AbsVal {
+        match (self.values(), other.values()) {
+            (Some(&[]), _) | (_, Some(&[])) => AbsVal::Bot,
+            (Some(a), Some(b)) => {
+                let mut out = Vec::with_capacity(a.len() * b.len());
+                for &x in a {
+                    for &y in b {
+                        out.push(f(x, y));
+                    }
+                }
+                AbsVal::from_values(out)
+            }
+            _ => AbsVal::Top,
+        }
+    }
+}
+
+/// Abstract register file at one program point; `None` means the point is
+/// unreachable (the lattice bottom for whole states).
+pub type RegState = Option<Vec<AbsVal>>;
+
+/// Joins `from` into `into` pointwise, reporting change.
+fn join_states(into: &mut RegState, from: &RegState) -> bool {
+    let Some(from) = from else { return false };
+    match into {
+        None => {
+            *into = Some(from.clone());
+            true
+        }
+        Some(into) => {
+            let mut changed = false;
+            for (i, f) in into.iter_mut().zip(from) {
+                let joined = i.join(f);
+                if joined != *i {
+                    *i = joined;
+                    changed = true;
+                }
+            }
+            changed
+        }
+    }
+}
+
+/// The forward constant-propagation / value-set analysis, one node per
+/// text word over the recovered flow graph.
+struct RegAbs<'a> {
+    flow: &'a Flow,
+    text_base: u32,
+}
+
+/// The register file every root starts with: nothing known except the
+/// architectural zero.
+fn entry_state() -> Vec<AbsVal> {
+    let mut regs = vec![AbsVal::Top; 32];
+    regs[Reg::ZERO.index() as usize] = AbsVal::Const(0);
+    regs
+}
+
+impl RegAbs<'_> {
+    /// The register (if any) the instruction writes, and its abstract
+    /// value, mirroring the simulator's concrete semantics.
+    fn eval(&self, addr: u32, inst: Inst, regs: &[AbsVal]) -> Option<(Reg, AbsVal)> {
+        use Inst::*;
+        let r = |reg: Reg| &regs[reg.index() as usize];
+        Some(match inst {
+            Sll { rd, rt, sh } => (rd, r(rt).map(|x| x << sh)),
+            Srl { rd, rt, sh } => (rd, r(rt).map(|x| x >> sh)),
+            Sra { rd, rt, sh } => (rd, r(rt).map(|x| ((x as i32) >> sh) as u32)),
+            Sllv { rd, rt, rs } => (rd, r(rt).map2(r(rs), |x, s| x << (s & 31))),
+            Srlv { rd, rt, rs } => (rd, r(rt).map2(r(rs), |x, s| x >> (s & 31))),
+            Srav { rd, rt, rs } => (
+                rd,
+                r(rt).map2(r(rs), |x, s| ((x as i32) >> (s & 31)) as u32),
+            ),
+            Jalr { rd, .. } => (rd, AbsVal::Const(addr.wrapping_add(4))),
+            Jal { .. } => (Reg::RA, AbsVal::Const(addr.wrapping_add(4))),
+            Mul { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_mul)),
+            Div { rd, rs, rt } => (
+                rd,
+                r(rs).map2(r(rt), |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        (a as i32).wrapping_div(b as i32) as u32
+                    }
+                }),
+            ),
+            Rem { rd, rs, rt } => (
+                rd,
+                r(rs).map2(r(rt), |a, b| {
+                    if b == 0 {
+                        0
+                    } else {
+                        (a as i32).wrapping_rem(b as i32) as u32
+                    }
+                }),
+            ),
+            Add { rd, rs, rt } | Addu { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_add)),
+            Sub { rd, rs, rt } | Subu { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_sub)),
+            And { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a & b)),
+            Or { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a | b)),
+            Xor { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a ^ b)),
+            Nor { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| !(a | b))),
+            Slt { rd, rs, rt } => (
+                rd,
+                r(rs).map2(r(rt), |a, b| u32::from((a as i32) < (b as i32))),
+            ),
+            Sltu { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| u32::from(a < b))),
+            Addi { rt, rs, imm } => (rt, r(rs).map(|x| x.wrapping_add(imm as i32 as u32))),
+            Slti { rt, rs, imm } => (rt, r(rs).map(|x| u32::from((x as i32) < i32::from(imm)))),
+            Sltiu { rt, rs, imm } => (rt, r(rs).map(|x| u32::from(x < (imm as i32 as u32)))),
+            Andi { rt, rs, imm } => (rt, r(rs).map(|x| x & u32::from(imm))),
+            Ori { rt, rs, imm } => (rt, r(rs).map(|x| x | u32::from(imm))),
+            Xori { rt, rs, imm } => (rt, r(rs).map(|x| x ^ u32::from(imm))),
+            Lui { rt, imm } => (rt, AbsVal::Const(u32::from(imm) << 16)),
+            Lb { rt, .. } | Lh { rt, .. } | Lw { rt, .. } | Lbu { rt, .. } | Lhu { rt, .. } => {
+                (rt, AbsVal::Top)
+            }
+            Jr { .. } | Syscall | Break | J { .. } => return None,
+            Sb { .. } | Sh { .. } | Sw { .. } => return None,
+            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. } => {
+                return None
+            }
+        })
+    }
+}
+
+impl Analysis for RegAbs<'_> {
+    type Fact = RegState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self) -> RegState {
+        None
+    }
+
+    fn join(&self, into: &mut RegState, from: &RegState) -> bool {
+        join_states(into, from)
+    }
+
+    fn transfer(&self, node: usize, input: &RegState) -> RegState {
+        let Some(regs) = input else { return None };
+        let mut regs = regs.clone();
+        if let Some(inst) = self.flow.decoded[node] {
+            let addr = self.text_base.wrapping_add(4 * node as u32);
+            if let Some((rd, val)) = self.eval(addr, inst, &regs) {
+                if rd != Reg::ZERO {
+                    regs[rd.index() as usize] = val;
+                }
+            }
+        }
+        Some(regs)
+    }
+}
+
+/// Runs the value-set analysis, returning the abstract register file
+/// *entering* each text word (`None` where no static path arrives).
+pub fn analyze_registers(image: &Image, flow: &Flow) -> Vec<RegState> {
+    let succs: Vec<Vec<usize>> = flow
+        .succs
+        .iter()
+        .map(|es| es.iter().map(|e| e.to).collect())
+        .collect();
+    let index_of = |addr: u32| -> Option<usize> {
+        if addr < image.text_base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let i = ((addr - image.text_base) / 4) as usize;
+        (i < flow.decoded.len()).then_some(i)
+    };
+    let mut seeds: Vec<(usize, RegState)> = Vec::new();
+    if let Some(e) = index_of(image.entry) {
+        seeds.push((e, Some(entry_state())));
+    }
+    for &addr in image.symbols.values() {
+        if let Some(i) = index_of(addr) {
+            seeds.push((i, Some(entry_state())));
+        }
+    }
+    let analysis = RegAbs {
+        flow,
+        text_base: image.text_base,
+    };
+    dataflow::solve(&analysis, &succs, &seeds).input
+}
+
+/// Abstract window hasher: one concrete [`WindowHasher`] per candidate
+/// valuation path of the absorbed word stream.
+///
+/// Absorbing a value set forks every live path once per member; past
+/// [`MAX_SET`] paths (or on absorbing `Top`) the digest widens to `Top`.
+/// Because the underlying hasher is `Copy`, forking is just duplication —
+/// the abstract transformer reuses the hardware contract verbatim instead
+/// of re-stating the hash algebra.
+#[derive(Debug, Clone)]
+pub struct AbsHasher {
+    /// Live candidate paths; `None` is `Top`.
+    paths: Option<Vec<WindowHasher>>,
+}
+
+impl AbsHasher {
+    /// A hasher in the start-of-window state.
+    pub fn new(key: u64) -> AbsHasher {
+        AbsHasher {
+            paths: Some(vec![WindowHasher::new(key)]),
+        }
+    }
+
+    /// Absorbs one abstract word at `addr`.
+    pub fn absorb(&mut self, addr: u32, word: &AbsVal) {
+        let Some(paths) = &mut self.paths else { return };
+        match word.values() {
+            None => self.paths = None,
+            Some(ws) => {
+                let mut forked = Vec::with_capacity(paths.len() * ws.len().max(1));
+                for p in paths.iter() {
+                    for &w in ws {
+                        let mut q = *p;
+                        q.absorb(addr, w);
+                        forked.push(q);
+                    }
+                }
+                if forked.len() > MAX_SET {
+                    self.paths = None;
+                } else {
+                    *paths = forked;
+                }
+            }
+        }
+    }
+
+    /// The abstract digest of everything absorbed.
+    pub fn digest(&self) -> AbsVal {
+        match &self.paths {
+            None => AbsVal::Top,
+            Some(paths) => AbsVal::from_values(paths.iter().map(WindowHasher::digest)),
+        }
+    }
+}
+
+/// The outcome of one guard's checksum proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The embedded signature provably equals the window digest.
+    Proven {
+        /// The (unique) digest value.
+        digest: u32,
+    },
+    /// No feasible valuation matches the embedded signature.
+    Mismatch {
+        /// Signature spelled by the guard operand fields.
+        claimed: u32,
+        /// A feasible digest it disagrees with.
+        computed: u32,
+        /// Address of a symbol word whose operand byte disagrees with the
+        /// computed digest — the concrete witness.
+        witness_addr: u32,
+    },
+    /// The proof ran out of precision or preconditions; not an error.
+    Unproven {
+        /// Why the proof could not conclude.
+        reason: String,
+    },
+}
+
+/// One guard site's proof outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardProof {
+    /// Address of the first guard symbol word.
+    pub site_addr: u32,
+    /// Proof outcome.
+    pub verdict: Verdict,
+}
+
+/// Whether a store of `size` bytes at abstract address `addr` may land in
+/// the text segment `[text_base, text_end)`.
+fn store_may_hit_text(addr: &AbsVal, size: u32, text_base: u32, text_end: u32) -> bool {
+    match addr.values() {
+        None => true,
+        Some(vs) => vs
+            .iter()
+            .any(|&a| a.wrapping_add(size) > text_base && a < text_end),
+    }
+}
+
+/// Symbolically executes each guard's checksum and judges its embedded
+/// signature constant. `regs` is the result of [`analyze_registers`];
+/// `windows` the structural windows from the guard check.
+pub fn prove_guards(
+    image: &Image,
+    config: &SecMonConfig,
+    text: &[u32],
+    flow: &Flow,
+    regs: &[RegState],
+    windows: &[GuardWindow],
+) -> Vec<GuardProof> {
+    let text_end = image.text_base + 4 * text.len() as u32;
+    windows
+        .iter()
+        .map(|w| {
+            let verdict = prove_window(image, config, text, flow, regs, w, text_end);
+            GuardProof {
+                site_addr: w.site_addr,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+fn prove_window(
+    image: &Image,
+    config: &SecMonConfig,
+    text: &[u32],
+    flow: &Flow,
+    regs: &[RegState],
+    w: &GuardWindow,
+    text_end: u32,
+) -> Verdict {
+    if !w.structural {
+        return Verdict::Unproven {
+            reason: "window failed structural verification".to_owned(),
+        };
+    }
+    if w.end() > text.len() {
+        return Verdict::Unproven {
+            reason: "window extends past the end of text".to_owned(),
+        };
+    }
+    // Soundness obligation: the proof values window words from the static
+    // text, so a store that (a) can execute and (b) may target text would
+    // invalidate it. The register value-sets decide (b); reachability of
+    // the store decides (a).
+    for b in w.start..w.end() {
+        let Some(inst) = flow.decoded[b] else {
+            continue;
+        };
+        let (off, base, size) = match inst {
+            Inst::Sb { off, base, .. } => (off, base, 1),
+            Inst::Sh { off, base, .. } => (off, base, 2),
+            Inst::Sw { off, base, .. } => (off, base, 4),
+            _ => continue,
+        };
+        let Some(state) = regs.get(b).and_then(|s| s.as_ref()) else {
+            // No static path reaches the store: it never executes.
+            continue;
+        };
+        let addr = state[base.index() as usize].map(|x| x.wrapping_add(off as i32 as u32));
+        if store_may_hit_text(&addr, size, image.text_base, text_end) {
+            return Verdict::Unproven {
+                reason: format!(
+                    "store at {:#010x} may target the text segment",
+                    image.text_base + 4 * b as u32
+                ),
+            };
+        }
+    }
+
+    // Abstract replay of the hardware's checksum loop: body words, then
+    // the signed tail after the symbols, each valued from the static text.
+    let mut hasher = AbsHasher::new(config.guard_key);
+    let word_val = |i: usize| AbsVal::Const(text[i]);
+    for b in w.start..w.site {
+        hasher.absorb(image.text_base + 4 * b as u32, &word_val(b));
+    }
+    for t in 0..w.tail {
+        let i = w.site + w.symbols + t;
+        hasher.absorb(image.text_base + 4 * i as u32, &word_val(i));
+    }
+    let symbols: Vec<u8> = (0..w.symbols)
+        .map(|k| decode_guard_symbol(text[w.site + k]))
+        .collect();
+    let claimed = signature_from_symbols(&symbols);
+
+    match hasher.digest() {
+        AbsVal::Bot => Verdict::Unproven {
+            reason: "window has no feasible valuation".to_owned(),
+        },
+        AbsVal::Top => Verdict::Unproven {
+            reason: format!("window valuation exceeds the value-set budget ({MAX_SET})"),
+        },
+        AbsVal::Const(computed) if computed == claimed => Verdict::Proven { digest: computed },
+        AbsVal::Const(computed) => Verdict::Mismatch {
+            claimed,
+            computed,
+            witness_addr: witness(w, &symbols, computed),
+        },
+        AbsVal::Set(ds) => {
+            if ds.contains(&claimed) {
+                Verdict::Unproven {
+                    reason: "digest is ambiguous over the value set".to_owned(),
+                }
+            } else {
+                let computed = ds[0];
+                Verdict::Mismatch {
+                    claimed,
+                    computed,
+                    witness_addr: witness(w, &symbols, computed),
+                }
+            }
+        }
+    }
+}
+
+/// The first symbol word whose decoded operand byte disagrees with the
+/// computed digest — the concrete word an auditor should look at.
+fn witness(w: &GuardWindow, symbols: &[u8], computed: u32) -> u32 {
+    let expect = computed.to_le_bytes();
+    for (k, &sym) in symbols.iter().enumerate().take(4) {
+        if sym != expect[k] {
+            return w.site_addr + 4 * k as u32;
+        }
+    }
+    w.site_addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexprot_secmon::guard::{encode_guard_inst, signature_symbols, SIG_SYMBOLS};
+
+    fn consts(vals: &[u32]) -> AbsVal {
+        AbsVal::from_values(vals.iter().copied())
+    }
+
+    #[test]
+    fn lattice_normalisation_and_join() {
+        assert_eq!(consts(&[]), AbsVal::Bot);
+        assert_eq!(consts(&[7]), AbsVal::Const(7));
+        assert_eq!(consts(&[3, 1, 3]), AbsVal::Set(vec![1, 3]));
+        let nine: Vec<u32> = (0..=MAX_SET as u32).collect();
+        assert_eq!(consts(&nine), AbsVal::Top);
+        assert_eq!(AbsVal::Const(1).join(&AbsVal::Const(1)), AbsVal::Const(1));
+        assert_eq!(
+            AbsVal::Const(1).join(&AbsVal::Const(2)),
+            AbsVal::Set(vec![1, 2])
+        );
+        assert_eq!(AbsVal::Bot.join(&AbsVal::Const(9)), AbsVal::Const(9));
+        assert_eq!(AbsVal::Top.join(&AbsVal::Const(9)), AbsVal::Top);
+        assert!(AbsVal::Top.admits(42));
+        assert!(consts(&[1, 2]).admits(2));
+        assert!(!consts(&[1, 2]).admits(3));
+    }
+
+    #[test]
+    fn map2_takes_the_cartesian_product_and_widens() {
+        let a = consts(&[1, 2]);
+        let b = consts(&[10, 20]);
+        assert_eq!(
+            a.map2(&b, u32::wrapping_add),
+            AbsVal::Set(vec![11, 12, 21, 22])
+        );
+        assert_eq!(AbsVal::Bot.map2(&b, u32::wrapping_add), AbsVal::Bot);
+        assert_eq!(a.map2(&AbsVal::Top, u32::wrapping_add), AbsVal::Top);
+        // 3 × 3 distinct sums exceed the cap.
+        let wide = consts(&[0, 100, 200]).map2(&consts(&[1, 2, 3]), u32::wrapping_add);
+        assert_eq!(wide, AbsVal::Top);
+    }
+
+    #[test]
+    fn straight_line_constants_propagate() {
+        let image = flexprot_asm::assemble_or_panic(
+            "main: li $t0, 5\n addi $t1, $t0, 3\n li $v0, 10\n syscall\n",
+        );
+        let flow = Flow::recover(&image, &image.text.clone());
+        let regs = analyze_registers(&image, &flow);
+        // State entering the syscall: $t0 = 5, $t1 = 8, $zero = 0.
+        let at_syscall = regs.last().unwrap().as_ref().expect("reachable");
+        assert_eq!(at_syscall[Reg::T0.index() as usize], AbsVal::Const(5));
+        assert_eq!(at_syscall[Reg::T1.index() as usize], AbsVal::Const(8));
+        assert_eq!(at_syscall[Reg::ZERO.index() as usize], AbsVal::Const(0));
+    }
+
+    #[test]
+    fn join_over_branches_builds_value_sets() {
+        // Strip the branch-target symbols first: every label is exported
+        // as a symbol, and symbols are analysis roots with a Top state.
+        let mut image = flexprot_asm::assemble_or_panic(
+            "main: beq $a0, $zero, other\n li $t0, 1\n j done\n\
+             other: li $t0, 2\n done: li $v0, 10\n syscall\n",
+        );
+        image.symbols.retain(|name, _| name.as_str() == "main");
+        let flow = Flow::recover(&image, &image.text.clone());
+        let regs = analyze_registers(&image, &flow);
+        let at_done = regs[regs.len() - 2].as_ref().expect("reachable");
+        assert_eq!(
+            at_done[Reg::T0.index() as usize],
+            AbsVal::Set(vec![1, 2]),
+            "both arms' constants survive the join"
+        );
+    }
+
+    #[test]
+    fn unreachable_words_have_no_state() {
+        // The word after the backward jump is unreachable once its label
+        // stops being a root symbol.
+        let image = flexprot_asm::assemble_or_panic(
+            "main: li $v0, 10\n syscall\n j main\n dead: li $t0, 1\n",
+        );
+        let flow = Flow::recover(&image, &image.text.clone());
+        let regs = analyze_registers(&image, &flow);
+        let mut stripped = image.clone();
+        stripped.symbols.retain(|name, _| name.as_str() == "main");
+        let flow2 = Flow::recover(&stripped, &stripped.text.clone());
+        let regs2 = analyze_registers(&stripped, &flow2);
+        assert!(regs[3].is_some(), "symbol-seeded word has a state");
+        assert!(regs2[3].is_none(), "unreachable word has none");
+    }
+
+    #[test]
+    fn abs_hasher_const_stream_matches_concrete_hash() {
+        let words = [0x1234_5678u32, 0x9ABC_DEF0, 0x0BAD_F00D];
+        let mut h = AbsHasher::new(0x55AA);
+        for (i, &w) in words.iter().enumerate() {
+            h.absorb(0x0040_0000 + 4 * i as u32, &AbsVal::Const(w));
+        }
+        let concrete = WindowHasher::hash_window(0x55AA, 0x0040_0000, &words);
+        assert_eq!(h.digest(), AbsVal::Const(concrete));
+    }
+
+    #[test]
+    fn abs_hasher_set_stream_contains_every_concretisation() {
+        let mut h = AbsHasher::new(7);
+        h.absorb(0x0040_0000, &AbsVal::Const(1));
+        h.absorb(0x0040_0004, &consts(&[2, 3]));
+        let digest = h.digest();
+        for second in [2u32, 3] {
+            let concrete = WindowHasher::hash_window(7, 0x0040_0000, &[1, second]);
+            assert!(digest.admits(concrete), "missing path for {second}");
+        }
+        // Top in, Top out.
+        h.absorb(0x0040_0008, &AbsVal::Top);
+        assert_eq!(h.digest(), AbsVal::Top);
+    }
+
+    #[test]
+    fn abs_hasher_widens_past_the_path_budget() {
+        let mut h = AbsHasher::new(7);
+        let set = consts(&[1, 2, 3]);
+        h.absorb(0x0040_0000, &set);
+        h.absorb(0x0040_0004, &set);
+        assert_eq!(h.digest(), AbsVal::Top, "9 paths exceed MAX_SET");
+    }
+
+    /// Hand-builds an image with one signed guard window and the matching
+    /// monitor configuration.
+    fn synthetic_guarded() -> (Image, SecMonConfig) {
+        let mut image = flexprot_asm::assemble_or_panic(
+            "main: li $t0, 5\n li $t1, 6\n nop\n nop\n nop\n nop\n li $v0, 10\n syscall\n",
+        );
+        let key = 0x1EE7;
+        let base = image.text_base;
+        // Window body: words 0..2; guard symbols at words 2..6.
+        let mut h = WindowHasher::new(key);
+        h.absorb(base, image.text[0]);
+        h.absorb(base + 4, image.text[1]);
+        let sig = h.digest();
+        for (k, sym) in signature_symbols(sig).iter().enumerate() {
+            image.text[2 + k] = encode_guard_inst(*sym, k as u8).encode();
+        }
+        let mut config = SecMonConfig::transparent();
+        config.guard_key = key;
+        config.window_starts.insert(base);
+        config.sites.insert(base + 8, Default::default());
+        (image, config)
+    }
+
+    fn windows_of(
+        image: &Image,
+        _config: &SecMonConfig,
+    ) -> (Flow, Vec<RegState>, Vec<GuardWindow>) {
+        let text = image.text.clone();
+        let flow = Flow::recover(image, &text);
+        let regs = analyze_registers(image, &flow);
+        let windows = vec![GuardWindow {
+            site_addr: image.text_base + 8,
+            start: 0,
+            site: 2,
+            symbols: SIG_SYMBOLS as usize,
+            tail: 0,
+            structural: true,
+            sound: true,
+        }];
+        (flow, regs, windows)
+    }
+
+    #[test]
+    fn intact_guard_is_proven() {
+        let (image, config) = synthetic_guarded();
+        let (flow, regs, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        assert_eq!(proofs.len(), 1);
+        assert!(
+            matches!(proofs[0].verdict, Verdict::Proven { .. }),
+            "{:?}",
+            proofs[0]
+        );
+    }
+
+    #[test]
+    fn corrupted_signature_yields_mismatch_with_witness() {
+        let (mut image, config) = synthetic_guarded();
+        // Re-encode symbol word 1 with a different symbol: still guard
+        // form, but the spelled signature changes.
+        let old = decode_guard_symbol(image.text[3]);
+        image.text[3] = encode_guard_inst(old ^ 0x01, 1).encode();
+        let (flow, regs, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        match &proofs[0].verdict {
+            Verdict::Mismatch {
+                claimed,
+                computed,
+                witness_addr,
+            } => {
+                assert_ne!(claimed, computed);
+                assert_eq!(*witness_addr, image.text_base + 12, "symbol word 1");
+            }
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_body_yields_mismatch() {
+        let (mut image, config) = synthetic_guarded();
+        image.text[1] ^= 1 << 3;
+        let (flow, regs, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        assert!(
+            matches!(proofs[0].verdict, Verdict::Mismatch { .. }),
+            "{:?}",
+            proofs[0]
+        );
+    }
+
+    #[test]
+    fn non_structural_window_is_unproven_not_an_error() {
+        let (image, config) = synthetic_guarded();
+        let (flow, regs, mut windows) = windows_of(&image, &config);
+        windows[0].structural = false;
+        windows[0].sound = false;
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        assert!(
+            matches!(proofs[0].verdict, Verdict::Unproven { .. }),
+            "{:?}",
+            proofs[0]
+        );
+    }
+
+    #[test]
+    fn store_that_may_hit_text_blocks_the_proof() {
+        // A store with an unknown base register address inside the hashed
+        // window: the static-text assumption is not provable.
+        let mut image = flexprot_asm::assemble_or_panic(
+            "main: lw $t2, 0($a0)\n sw $t0, 0($t2)\n nop\n nop\n nop\n nop\n li $v0, 10\n syscall\n",
+        );
+        let key = 0x1EE7;
+        let base = image.text_base;
+        let mut h = WindowHasher::new(key);
+        h.absorb(base, image.text[0]);
+        h.absorb(base + 4, image.text[1]);
+        let sig = h.digest();
+        for (k, sym) in signature_symbols(sig).iter().enumerate() {
+            image.text[2 + k] = encode_guard_inst(*sym, k as u8).encode();
+        }
+        let mut config = SecMonConfig::transparent();
+        config.guard_key = key;
+        config.window_starts.insert(base);
+        config.sites.insert(base + 8, Default::default());
+        let (flow, regs, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        match &proofs[0].verdict {
+            Verdict::Unproven { reason } => {
+                assert!(reason.contains("store"), "{reason}");
+            }
+            other => panic!("expected unproven, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn store_with_provably_safe_address_does_not_block() {
+        // The store base is a known constant pointing into data space.
+        let mut image = flexprot_asm::assemble_or_panic(
+            "main: li $t2, 0x10000000\n sw $zero, 0($t2)\n nop\n nop\n nop\n nop\n \
+             li $v0, 10\n syscall\n",
+        );
+        let key = 0x1EE7;
+        let base = image.text_base;
+        let body_len = image.text.len() - 6;
+        let mut h = WindowHasher::new(key);
+        for i in 0..body_len {
+            h.absorb(base + 4 * i as u32, image.text[i]);
+        }
+        let sig = h.digest();
+        for (k, sym) in signature_symbols(sig).iter().enumerate() {
+            image.text[body_len + k] = encode_guard_inst(*sym, k as u8).encode();
+        }
+        let site_addr = base + 4 * body_len as u32;
+        let mut config = SecMonConfig::transparent();
+        config.guard_key = key;
+        config.window_starts.insert(base);
+        config.sites.insert(site_addr, Default::default());
+        let text = image.text.clone();
+        let flow = Flow::recover(&image, &text);
+        let regs = analyze_registers(&image, &flow);
+        let windows = vec![GuardWindow {
+            site_addr,
+            start: 0,
+            site: body_len,
+            symbols: SIG_SYMBOLS as usize,
+            tail: 0,
+            structural: true,
+            sound: true,
+        }];
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        assert!(
+            matches!(proofs[0].verdict, Verdict::Proven { .. }),
+            "{:?}",
+            proofs[0]
+        );
+    }
+}

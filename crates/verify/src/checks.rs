@@ -244,7 +244,8 @@ pub(crate) fn check_guards(ctx: &Ctx, sink: &mut Sink) -> (usize, Vec<GuardWindo
             );
             window_ok = false;
         }
-        let mut sound = shape_ok && window_ok;
+        let structural = shape_ok && window_ok;
+        let mut sound = structural;
         if sound {
             let mut hasher = WindowHasher::new(config.guard_key);
             for b in wi..si {
@@ -277,6 +278,7 @@ pub(crate) fn check_guards(ctx: &Ctx, sink: &mut Sink) -> (usize, Vec<GuardWindo
             site: si,
             symbols,
             tail: site.tail as usize,
+            structural,
             sound,
         });
     }
@@ -378,6 +380,116 @@ pub(crate) fn check_coverage(
                 shadowed - MAX_PER_LINT
             ),
         );
+    }
+}
+
+/// Guard-network and checksum-proof lints (`FP7xx`).
+///
+/// FP703 is the only error: a [`Verdict::Mismatch`] means abstract
+/// interpretation found *no* feasible valuation under which the guard's
+/// embedded signature matches its window, so the guard either never
+/// passes (halting every honest run) or was re-signed by an attacker —
+/// and the finding carries the concrete witness word. The connectivity
+/// lints are notes, not warnings: in this codesign the check schedule
+/// lives in tamper-proof hardware, so a guard nobody checks still fires —
+/// an unbacked guard is a hardening opportunity, not a broken contract.
+pub(crate) fn check_network(
+    net: &crate::guardnet::GuardNet,
+    proofs: &[crate::absint::GuardProof],
+    sink: &mut Sink,
+) {
+    use crate::absint::Verdict;
+    for p in proofs {
+        if let Verdict::Mismatch {
+            claimed,
+            computed,
+            witness_addr,
+        } = &p.verdict
+        {
+            sink.emit(
+                &diag::CHECKSUM_CONSTANT_MISMATCH,
+                Some(p.site_addr),
+                format!(
+                    "embedded signature {claimed:#010x} can never equal the window digest \
+                     {computed:#010x}; witness word {witness_addr:#010x}"
+                ),
+            );
+        }
+    }
+
+    let sound = net.sound_count();
+    if sound == 0 {
+        return;
+    }
+    let mut unchecked = 0usize;
+    let mut acyclic = 0usize;
+    for node in &net.nodes {
+        if node.unchecked {
+            unchecked += 1;
+            if unchecked <= MAX_PER_LINT {
+                sink.emit(
+                    &diag::UNGUARDED_GUARD,
+                    Some(node.site_addr),
+                    "no other guard's window covers this guard".to_owned(),
+                );
+            }
+        } else if node.acyclic {
+            acyclic += 1;
+            if acyclic <= MAX_PER_LINT {
+                sink.emit(
+                    &diag::ACYCLIC_GUARD_CHAIN,
+                    Some(node.site_addr),
+                    "guard is checked but belongs to no checking cycle".to_owned(),
+                );
+            }
+        }
+    }
+    if unchecked > MAX_PER_LINT {
+        sink.emit(
+            &diag::UNGUARDED_GUARD,
+            None,
+            format!(
+                "... and {} more unguarded guard(s)",
+                unchecked - MAX_PER_LINT
+            ),
+        );
+    }
+    if acyclic > MAX_PER_LINT {
+        sink.emit(
+            &diag::ACYCLIC_GUARD_CHAIN,
+            None,
+            format!("... and {} more acyclic link(s)", acyclic - MAX_PER_LINT),
+        );
+    }
+
+    match &net.min_cut {
+        Some(cut) if cut.is_empty() && sound >= 2 => {
+            sink.emit(
+                &diag::MIN_CUT_WEAK_LINK,
+                None,
+                format!("the guard network is disconnected: {sound} guard(s) back each other up nowhere"),
+            );
+        }
+        Some(cut) => {
+            for &v in cut.iter().take(MAX_PER_LINT) {
+                sink.emit(
+                    &diag::MIN_CUT_WEAK_LINK,
+                    Some(net.nodes[v].site_addr),
+                    format!(
+                        "defeating {} guard(s) disconnects the guard network; this one is in the cut",
+                        cut.len()
+                    ),
+                );
+            }
+            if cut.len() > MAX_PER_LINT {
+                sink.emit(
+                    &diag::MIN_CUT_WEAK_LINK,
+                    None,
+                    format!("... and {} more cut member(s)", cut.len() - MAX_PER_LINT),
+                );
+            }
+        }
+        None => {}
     }
 }
 

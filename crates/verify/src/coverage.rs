@@ -39,6 +39,10 @@ pub struct GuardWindow {
     pub symbols: usize,
     /// Signed tail words hashed after the symbols (the block terminator).
     pub tail: usize,
+    /// Whether the structural checks passed (guard shape, straight-line
+    /// window, no mid-window entries) — the precondition for the checksum
+    /// proof, independent of whether the signature actually matched.
+    pub structural: bool,
     /// Whether every structural and cryptographic check passed; only
     /// sound windows contribute coverage.
     pub sound: bool,
@@ -364,6 +368,7 @@ mod tests {
             site,
             symbols,
             tail,
+            structural: sound,
             sound,
         }
     }

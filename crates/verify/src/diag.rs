@@ -112,6 +112,14 @@ lints! {
         "a reachable protected word is covered by no guard window and no dominating check");
     POST_CHECK_WINDOW = ("FP604", "post-check-edit-window", Note,
         "a reachable protected word is uncovered but dominated by a completed guard check");
+    UNGUARDED_GUARD = ("FP701", "unguarded-guard", Note,
+        "a sound guard's window is covered by no other guard, so defeating it defeats nothing else");
+    ACYCLIC_GUARD_CHAIN = ("FP702", "acyclic-guard-chain", Note,
+        "a guard is checked but sits in no checking cycle, so the chain unravels from its root");
+    CHECKSUM_CONSTANT_MISMATCH = ("FP703", "checksum-constant-mismatch", Error,
+        "abstract interpretation proves a guard's embedded signature never matches its window");
+    MIN_CUT_WEAK_LINK = ("FP704", "min-cut-weak-link", Note,
+        "the guard belongs to a minimum cut of the guard network (or the network is disconnected)");
 }
 
 /// Looks up a lint by its stable ID or short name.
@@ -218,6 +226,11 @@ pub struct VerifyStats {
     /// Text words covered by no sound window and no cipher region — the
     /// static tamper surface.
     pub surface_words: usize,
+    /// Check edges between distinct sound guards in the guard network.
+    pub guard_edges: usize,
+    /// Guards whose embedded signature the abstract interpreter proved
+    /// consistent with the text it covers.
+    pub proven_constants: usize,
 }
 
 /// The product of a verification run: findings plus statistics.
@@ -258,7 +271,8 @@ impl Report {
         out.push_str(&format!(
             "{} error(s), {} warning(s), {} note(s); \
              {} text words ({} reachable), {} guard site(s), {} relocation(s); \
-             {} sound window(s) covering {} word(s), {} on the tamper surface",
+             {} sound window(s) covering {} word(s), {} on the tamper surface; \
+             {} guard-network edge(s), {} proven constant(s)",
             self.count(Severity::Error),
             self.count(Severity::Warning),
             self.count(Severity::Note),
@@ -269,6 +283,8 @@ impl Report {
             self.stats.sound_windows,
             self.stats.covered_words,
             self.stats.surface_words,
+            self.stats.guard_edges,
+            self.stats.proven_constants,
         ));
         match self.stats.max_spacing {
             Some(max) => out.push_str(&format!("; max guard-free path {max}\n")),
@@ -289,7 +305,8 @@ impl Report {
         out.push_str(&format!(
             ",\"stats\":{{\"text_words\":{},\"reachable_words\":{},\"sites_checked\":{},\
              \"relocs_checked\":{},\"max_spacing\":{},\"sound_windows\":{},\
-             \"covered_words\":{},\"surface_words\":{}}}",
+             \"covered_words\":{},\"surface_words\":{},\"guard_edges\":{},\
+             \"proven_constants\":{}}}",
             s.text_words,
             s.reachable_words,
             s.sites_checked,
@@ -299,6 +316,8 @@ impl Report {
             s.sound_windows,
             s.covered_words,
             s.surface_words,
+            s.guard_edges,
+            s.proven_constants,
         ));
         out.push_str(",\"findings\":[");
         for (i, f) in self.findings.iter().enumerate() {
@@ -337,7 +356,7 @@ impl Report {
 }
 
 /// Escapes `s` for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

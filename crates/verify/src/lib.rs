@@ -35,6 +35,7 @@
 //! # Ok::<(), flexprot_asm::AsmError>(())
 //! ```
 
+pub mod absint;
 pub mod cfg;
 mod checks;
 pub mod coverage;
@@ -42,13 +43,16 @@ pub mod dataflow;
 pub mod diag;
 pub mod domtree;
 pub mod flow;
+pub mod guardnet;
 pub mod liveness;
 
+pub use absint::{AbsHasher, AbsVal, GuardProof, Verdict};
 pub use cfg::{BasicBlock, Cfg};
 pub use coverage::{Coverage, GuardWindow, SurfaceEntry, SurfaceMap};
 pub use diag::{lint_by_id, Finding, Lint, LintPolicy, Report, Severity, VerifyStats, LINTS};
 pub use domtree::DomTree;
 pub use flow::{Edge, EdgeKind, Flow};
+pub use guardnet::{GuardNet, NetNode, WeakLink};
 pub use liveness::Liveness;
 
 use flexprot_isa::Image;
@@ -93,14 +97,28 @@ pub fn decrypt_text(image: &Image, config: &SecMonConfig) -> Vec<u32> {
         .collect()
 }
 
-/// Everything one analysis pass produces: the lint report and the static
-/// tamper-surface map derived from the same flow recovery.
+/// Everything one analysis pass produces: the lint report, the static
+/// tamper-surface map, the per-word coverage facts, the guard network
+/// and the checksum proofs — all derived from the same flow recovery.
 #[derive(Debug, Clone)]
 pub struct Verification {
     /// Findings and statistics.
     pub report: Report,
     /// Ranked uncovered words (`flexprot-surface-v1`).
     pub surface: SurfaceMap,
+    /// Per-word guard-coverage facts (window list included).
+    pub coverage: Coverage,
+    /// The who-checks-whom guard network (`flexprot-guardnet-v1`).
+    pub guardnet: GuardNet,
+    /// One abstract checksum proof per guard window.
+    pub proofs: Vec<GuardProof>,
+}
+
+impl Verification {
+    /// Renders the guard network and proofs as `flexprot-guardnet-v1`.
+    pub fn guardnet_json(&self) -> String {
+        guardnet::to_json(&self.guardnet, &self.proofs)
+    }
 }
 
 /// Verifies `image` against `config` under the default lint policy.
@@ -149,6 +167,13 @@ pub fn analyze(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Ver
     checks::check_coverage(&ctx, &cov, &live, &mut sink);
     let surface = coverage::surface_map(image, config, &ctx.flow, &cfg, &cov);
 
+    // Abstract interpretation: the value-set register analysis feeds the
+    // per-guard checksum proofs; the window list feeds the guard network.
+    let regs = absint::analyze_registers(image, &ctx.flow);
+    let proofs = absint::prove_guards(image, config, &ctx.text, &ctx.flow, &regs, &cov.windows);
+    let net = guardnet::build(&cov.windows);
+    checks::check_network(&net, &proofs, &mut sink);
+
     let report = Report {
         stats: VerifyStats {
             text_words: ctx.text.len(),
@@ -159,8 +184,19 @@ pub fn analyze(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Ver
             sound_windows: surface.sound_windows,
             covered_words: surface.covered_words(),
             surface_words: surface.surface_words(),
+            guard_edges: net.edges,
+            proven_constants: proofs
+                .iter()
+                .filter(|p| matches!(p.verdict, absint::Verdict::Proven { .. }))
+                .count(),
         },
         findings: sink.findings,
     };
-    Verification { report, surface }
+    Verification {
+        report,
+        surface,
+        coverage: cov,
+        guardnet: net,
+        proofs,
+    }
 }

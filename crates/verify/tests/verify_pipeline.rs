@@ -295,11 +295,14 @@ fn policy_overrides_change_the_verdict() {
     let default_report = verify(&image, &secmon);
     assert!(!default_report.is_clean());
 
-    let allow = LintPolicy::new::<&str>(&[], &["FP102", "FP301"]).unwrap();
+    // FP703 is the abstract-interpretation re-derivation of the same
+    // tamper FP102 catches concretely; both must be demoted for a clean
+    // verdict.
+    let allow = LintPolicy::new::<&str>(&[], &["FP102", "FP301", "FP703"]).unwrap();
     let relaxed = verify_with_policy(&image, &secmon, &allow);
     assert!(
         relaxed.is_clean(),
-        "allowing FP102/FP301 must demote the findings:\n{}",
+        "allowing FP102/FP301/FP703 must demote the findings:\n{}",
         relaxed.render_human()
     );
 
