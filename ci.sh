@@ -84,6 +84,23 @@ grep -Eq '"exec_cache_misses":[1-9]' "$EXEC_DIR/serial.metrics.json" || {
 }
 echo "parallel determinism OK"
 
+echo "== experiments: results/ baselines under the predecoded engine =="
+# Regenerate every table at full fidelity and diff against the committed
+# CSVs: the predecoded fetch path must keep all recorded numbers
+# byte-identical (a diff means either a stats regression or a deliberate
+# experiment change — regenerate results/ and commit). Wall-clock per
+# table is logged to results/timings.csv as a perf smoke; the file is
+# machine-dependent and NOT diffed (non-gating).
+cargo run --quiet --release -p flexprot-bench --bin experiments -- \
+    --csv "$EXEC_DIR/full" --timings results/timings.csv \
+    > /dev/null 2> /dev/null
+for f in "$EXEC_DIR"/full/*.csv; do
+    diff -u "results/$(basename "$f")" "$f" || {
+        echo "results baseline diverged: $(basename "$f")"; exit 1;
+    }
+done
+echo "results baselines OK (wall times -> results/timings.csv, non-gating)"
+
 echo "== static surface: fpsurface baseline =="
 # Lint every golden protected image of the protection matrix. The run
 # fails on any error-severity finding (fpsurface exit code), and the

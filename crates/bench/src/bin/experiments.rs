@@ -10,11 +10,15 @@
 //!   --csv <DIR>       write one CSV per table into DIR (default: results)
 //!   --no-csv          skip CSV output
 //!   --metrics <PATH>  write the engine's aggregate metrics JSON to PATH
+//!   --timings <PATH>  write per-table wall time (CSV: table,seconds) to PATH
 //! ```
 //!
 //! Tables go to stdout; timing and engine summaries go to stderr, so
 //! stdout is diff-clean across `--jobs` values (the engine guarantees
-//! identical tables and metrics whatever the worker count).
+//! identical tables and metrics whatever the worker count). `--timings`
+//! deliberately takes its own path rather than landing in the `--csv`
+//! directory: wall times are machine-dependent and must never leak into
+//! the deterministic table output that CI diffs.
 
 use std::io::Write;
 
@@ -28,6 +32,7 @@ fn main() {
     let mut csv_dir: Option<String> = Some("results".to_owned());
     let mut jobs: Option<usize> = None;
     let mut metrics_path: Option<String> = None;
+    let mut timings_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -65,6 +70,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--timings" => {
+                i += 1;
+                timings_path = args.get(i).cloned();
+                if timings_path.is_none() {
+                    eprintln!("--timings requires a path");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 std::process::exit(2);
@@ -97,6 +110,7 @@ fn main() {
     ];
 
     let wall = std::time::Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for (id, run) in experiments {
         if let Some(ref filter) = only {
             if !filter.eq_ignore_ascii_case(id) {
@@ -105,8 +119,10 @@ fn main() {
         }
         let start = std::time::Instant::now();
         let table = run(&params, &engine);
+        let secs = start.elapsed().as_secs_f64();
         println!("{table}");
-        eprintln!("({id} finished in {:.1}s)", start.elapsed().as_secs_f64());
+        eprintln!("({id} finished in {secs:.1}s)");
+        timings.push((id.to_owned(), secs));
         if let Some(ref dir) = csv_dir {
             let path = table.save_csv(dir).expect("write csv");
             eprintln!("wrote {}", path.display());
@@ -122,6 +138,15 @@ fn main() {
         stats.misses,
         wall.elapsed().as_secs_f64()
     );
+    if let Some(path) = timings_path {
+        let mut out = String::from("table,seconds\n");
+        for (id, secs) in &timings {
+            out.push_str(&format!("{id},{secs:.3}\n"));
+        }
+        out.push_str(&format!("total,{:.3}\n", wall.elapsed().as_secs_f64()));
+        std::fs::write(&path, out).expect("write timings file");
+        eprintln!("wrote {path}");
+    }
     if let Some(path) = metrics_path {
         let mut file = std::fs::File::create(&path).expect("create metrics file");
         file.write_all(engine.metrics().to_json().as_bytes())

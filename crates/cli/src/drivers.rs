@@ -337,6 +337,11 @@ fn fprun_sim(args: &Args) -> Result<SimConfig, CliError> {
             .validate()
             .map_err(|e| CliError(format!("--icache: {e}")))?;
     }
+    if let Some(kind) = args.value("engine") {
+        sim.engine = kind
+            .parse()
+            .map_err(|e| CliError(format!("--engine: {e}")))?;
+    }
     Ok(sim)
 }
 
@@ -359,8 +364,17 @@ fn outcome_code(outcome: &Outcome) -> (String, i32) {
 }
 
 /// `fprun <image.fpx>... [--secmon <cfg.fpm>] [--icache BYTES]
-/// [--max-instr N] [--jobs N] [--stats] [--metrics <out.json>]
-/// [--trace <out.jsonl>]`.
+/// [--max-instr N] [--engine predecoded|reference] [--jobs N] [--stats]
+/// [--metrics <out.json>] [--trace <out.jsonl>]`.
+///
+/// `--engine` selects the simulator core: `predecoded` (the default
+/// fill-path engine) or `reference` (the per-fetch interpreter kept for
+/// differential checking). Both report identical outcomes and stats.
+///
+/// Exit-code contract: the program's own exit code on a clean run,
+/// `101` for a tamper response, `102` for a CPU fault, `103` when the
+/// `--max-instr` fuel limit was exhausted, and `2` for usage or I/O
+/// errors.
 ///
 /// `--metrics` writes the `flexprot-metrics-v1` counter/histogram document
 /// aggregated from the run's event stream; `--trace` writes every event as
@@ -380,7 +394,15 @@ fn outcome_code(outcome: &Outcome) -> (String, i32) {
 pub fn fprun(raw_args: &[String]) -> Result<RunSummary, CliError> {
     let args = parse(
         raw_args,
-        &["secmon", "icache", "max-instr", "metrics", "trace", "jobs"],
+        &[
+            "secmon",
+            "icache",
+            "max-instr",
+            "engine",
+            "metrics",
+            "trace",
+            "jobs",
+        ],
     )?;
     if args.positional.is_empty() {
         return Err(CliError(
@@ -1025,6 +1047,40 @@ mod tests {
             run.exit_code == 101 || run.exit_code == 102,
             "expected tamper/fault, got {run:?}"
         );
+    }
+
+    #[test]
+    fn out_of_fuel_has_distinct_exit_code_and_message() {
+        let src = tmp("fuel.s");
+        std::fs::write(&src, "main: j main\n").unwrap();
+        let fpx = tmp("fuel.fpx");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        let run = fprun(&strs(&[&fpx, "--max-instr", "1000"])).unwrap();
+        assert_eq!(run.exit_code, 103, "{run:?}");
+        assert!(run.report.contains("out of fuel"), "{run:?}");
+    }
+
+    #[test]
+    fn fault_has_distinct_exit_code_and_message() {
+        let src = tmp("fault.s");
+        std::fs::write(&src, "main: break\n").unwrap();
+        let fpx = tmp("fault.fpx");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        let run = fprun(&strs(&[&fpx])).unwrap();
+        assert_eq!(run.exit_code, 102, "{run:?}");
+        assert!(run.report.contains("FAULT"), "{run:?}");
+    }
+
+    #[test]
+    fn engine_flag_selects_core_and_rejects_unknown_names() {
+        let src = write_sample_source("engine.s");
+        let fpx = tmp("engine.fpx");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        let fast = fprun(&strs(&[&fpx, "--stats"])).unwrap();
+        let reference = fprun(&strs(&[&fpx, "--engine", "reference", "--stats"])).unwrap();
+        assert_eq!(fast, reference);
+        let err = fprun(&strs(&[&fpx, "--engine", "turbo"])).unwrap_err();
+        assert!(err.to_string().contains("unknown engine"), "{err}");
     }
 
     #[test]

@@ -218,10 +218,9 @@ fn find_leaders(image: &Image, insts: &[Inst]) -> Result<BTreeSet<usize>, Protec
     if insts.is_empty() {
         return Ok(leaders);
     }
-    leaders.insert(0);
-    if let Some(entry) = image.text_index_of(image.entry) {
-        leaders.insert(entry);
-    }
+    // First word, entry point and in-text symbols — the semantic-free
+    // leader set shared with `flexprot-verify`'s block partitioning.
+    leaders.extend(image.anchor_indices());
     for (i, inst) in insts.iter().enumerate() {
         let addr = image.addr_of_index(i);
         let target = inst.branch_target(addr).or_else(|| inst.jump_target());
@@ -233,13 +232,6 @@ fn find_leaders(image: &Image, insts: &[Inst]) -> Result<BTreeSet<usize>, Protec
         }
         if inst.is_control_transfer() && i + 1 < insts.len() {
             leaders.insert(i + 1);
-        }
-    }
-    // Symbols pointing into text are potential indirect targets (function
-    // pointers, jump labels): make them leaders too.
-    for &addr in image.symbols.values() {
-        if let Some(i) = image.text_index_of(addr) {
-            leaders.insert(i);
         }
     }
     Ok(leaders)

@@ -165,8 +165,22 @@ impl Protected {
     /// (the secure monitor carries per-run state), and the machine's sink
     /// is cleared — reattach one afterwards for a traced run. The batch
     /// harnesses use this to amortize allocations across many trials.
+    ///
+    /// When the machine's previous monitor used the same encryption
+    /// regions — the attack harness's case: thousands of single-word
+    /// mutations of one protected binary — the machine's decoded-line
+    /// store is retained and revalidated against memory at fill time, so
+    /// each trial re-decrypts only the lines the mutation touched. A
+    /// different region table (different keys or layout) forces a full
+    /// reset: identical ciphertext bytes would otherwise replay a stale
+    /// decrypt.
     pub fn rearm(&self, machine: &mut Machine<SecMon>) {
-        machine.reset_with_monitor(&self.image, SecMon::new(self.secmon.clone()));
+        let monitor = SecMon::new(self.secmon.clone());
+        if machine.monitor().config().regions == self.secmon.regions {
+            machine.rearm(&self.image, monitor);
+        } else {
+            machine.reset_with_monitor(&self.image, monitor);
+        }
     }
 
     /// The static tamper-surface map of the shipped image: per-word guard

@@ -153,6 +153,23 @@ impl Image {
         self.symbols.get(name).copied()
     }
 
+    /// Word indices that every control-flow recovery must treat as
+    /// basic-block leaders regardless of instruction semantics: the first
+    /// text word, the entry point, and every symbol that lands in text
+    /// (symbols are potential indirect-branch targets). Sorted, deduplicated,
+    /// empty for an empty text segment.
+    pub fn anchor_indices(&self) -> Vec<usize> {
+        if self.text.is_empty() {
+            return Vec::new();
+        }
+        let mut anchors = vec![0];
+        anchors.extend(self.text_index_of(self.entry));
+        anchors.extend(self.symbols.values().filter_map(|&a| self.text_index_of(a)));
+        anchors.sort_unstable();
+        anchors.dedup();
+        anchors
+    }
+
     /// Decodes every text word, yielding `(address, result)` pairs.
     pub fn decode_text(&self) -> impl Iterator<Item = (u32, Result<Inst, DecodeError>)> + '_ {
         self.text

@@ -143,6 +143,20 @@ impl RegionTable {
             None => word,
         }
     }
+
+    /// Applies the keystream to a whole cache line in place: `words[i]`
+    /// sits at `line_addr + 4*i`. Equivalent to [`RegionTable::apply`]
+    /// word by word — this is the burst form the fill-path decryption
+    /// unit uses, with a fast exit for unencrypted tables.
+    pub fn apply_line(&self, line_addr: u32, words: &mut [u32]) {
+        if self.is_empty() {
+            return;
+        }
+        for (i, word) in words.iter_mut().enumerate() {
+            let addr = line_addr + 4 * i as u32;
+            *word = self.apply(addr, *word);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +194,28 @@ mod tests {
         }]);
         assert_eq!(table.apply(0x0040_0010, 123), 123);
         assert_eq!(table.apply(0x003F_FFFC, 123), 123);
+    }
+
+    #[test]
+    fn apply_line_matches_per_word_apply() {
+        // Region covering only the middle of the line, so the line mixes
+        // encrypted and plaintext words.
+        let table = RegionTable::new(vec![EncRegion {
+            start: 0x0040_0008,
+            end: 0x0040_0018,
+            key: 7,
+        }]);
+        let line_addr = 0x0040_0000;
+        let stored: Vec<u32> = (0..8).map(|i| 0x2108_0000 + i).collect();
+        let mut line = stored.clone();
+        table.apply_line(line_addr, &mut line);
+        for (i, (&burst, &word)) in line.iter().zip(stored.iter()).enumerate() {
+            assert_eq!(burst, table.apply(line_addr + 4 * i as u32, word));
+        }
+        // Empty table: identity on the whole line.
+        let mut untouched = stored.clone();
+        RegionTable::default().apply_line(line_addr, &mut untouched);
+        assert_eq!(untouched, stored);
     }
 
     #[test]

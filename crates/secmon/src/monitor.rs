@@ -225,6 +225,13 @@ impl FetchMonitor for SecMon {
         self.config.regions.apply(addr, word)
     }
 
+    fn transform_fill(&mut self, line_addr: u32, words: &mut [u32]) {
+        // Line-granularity decrypt, as the hardware does it: one pass over
+        // the filled line. Functionally identical to per-word
+        // `transform_fetch`; latency is charged by `fill_penalty`.
+        self.config.regions.apply_line(line_addr, words);
+    }
+
     fn fill_penalty(&mut self, line_addr: u32, line_words: u32) -> u64 {
         let encrypted = self
             .config

@@ -93,6 +93,11 @@ pub struct Access {
     pub writeback: Option<u32>,
     /// Base address of the accessed line.
     pub line_addr: u32,
+    /// Global way index (`set * ways + way`) holding the line after this
+    /// access. Stable for as long as the line stays resident, which lets
+    /// side structures (the decoded-line store) shadow the cache contents
+    /// without re-deriving placement.
+    pub slot: usize,
 }
 
 /// A set-associative, write-back, write-allocate cache with LRU replacement.
@@ -159,20 +164,26 @@ impl Cache {
         let base = set * ways;
         let slots = &mut self.ways[base..base + ways];
 
-        if let Some(way) = slots.iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some((way_idx, way)) = slots
+            .iter_mut()
+            .enumerate()
+            .find(|(_, w)| w.valid && w.tag == tag)
+        {
             way.lru = self.tick;
             way.dirty |= write;
             return Access {
                 hit: true,
                 writeback: None,
                 line_addr: self.line_addr(addr),
+                slot: base + way_idx,
             };
         }
 
         // Miss: pick invalid way, else LRU.
-        let victim = slots
+        let (victim_idx, victim) = slots
             .iter_mut()
-            .min_by_key(|w| if w.valid { w.lru + 1 } else { 0 })
+            .enumerate()
+            .min_by_key(|(_, w)| if w.valid { w.lru + 1 } else { 0 })
             .expect("at least one way");
         let writeback = (victim.valid && victim.dirty).then(|| {
             // Reconstruct the victim's base address from its tag and set.
@@ -188,6 +199,7 @@ impl Cache {
             hit: false,
             writeback,
             line_addr: self.line_addr(addr),
+            slot: base + victim_idx,
         }
     }
 
@@ -290,6 +302,24 @@ mod tests {
         for addr in [0x000u32, 0x020, 0x000, 0x040, 0x020] {
             assert_eq!(used.access(addr, false), fresh.access(addr, false));
         }
+    }
+
+    #[test]
+    fn slot_is_stable_while_line_is_resident() {
+        let mut c = tiny();
+        let miss = c.access(0x000, false);
+        assert!(!miss.hit);
+        let hit = c.access(0x004, false);
+        assert!(hit.hit);
+        assert_eq!(hit.slot, miss.slot);
+        // A second line in the same set takes the other way.
+        let other = c.access(0x020, false);
+        assert_ne!(other.slot, miss.slot);
+        assert_eq!(other.slot / 2, miss.slot / 2); // same set, 2 ways
+                                                   // Evicting the LRU line reuses its slot.
+        c.access(0x000, false);
+        let evict = c.access(0x040, false); // evicts 0x020
+        assert_eq!(evict.slot, other.slot);
     }
 
     #[test]

@@ -1,12 +1,58 @@
-//! The in-order CPU model and top-level [`Machine`].
+//! The top-level [`Machine`]: configuration, lifecycle and the commit loop.
+//!
+//! The core is layered across three modules (the fetch/decode/execute
+//! split):
+//!
+//! * [`crate::fetch`] — the fetch path: I-cache lookup, miss timing, the
+//!   monitor's fill-path transform, and instruction delivery from either
+//!   engine;
+//! * [`crate::decode_cache`] — the decoded-line store that shadows the
+//!   I-cache and eliminates per-step `Inst::decode`;
+//! * [`crate::exec`] — the execute stage: ALU/memory/branch semantics,
+//!   syscalls and D-cache timing.
+//!
+//! This module owns what ties them together: the machine state, the
+//! per-commit loop with the `observe_commit` guard hook, and reset/rearm
+//! lifecycle.
 
-use flexprot_isa::{Image, Inst, Reg, STACK_TOP};
+use flexprot_isa::{Image, Reg, STACK_TOP};
 use flexprot_trace::{SharedSink, TraceEvent};
 
 use crate::cache::{Cache, CacheConfig};
+use crate::decode_cache::DecodeCache;
+use crate::exec::Step;
 use crate::mem::Memory;
 use crate::monitor::{FetchMonitor, NullMonitor, TamperEvent};
 use crate::stats::{Fault, Stats};
+
+/// Which fetch/decode engine drives the simulation.
+///
+/// Both engines produce bit-identical [`RunResult`]s (outcome, stats and
+/// output); they differ only in wall-clock speed. The reference engine is
+/// kept for differential testing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Decrypt at I-cache fill, execute from the decoded-line store.
+    #[default]
+    Predecoded,
+    /// Re-read memory, re-transform and re-decode on every fetch — the
+    /// original interpreter, the semantic baseline.
+    Reference,
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "predecoded" => Ok(EngineKind::Predecoded),
+            "reference" => Ok(EngineKind::Reference),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'predecoded' or 'reference')"
+            )),
+        }
+    }
+}
 
 /// Simulator parameters: cache geometries, latencies and limits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +73,8 @@ pub struct SimConfig {
     pub max_instructions: u64,
     /// Record per-pc execution counts and per-line miss counts.
     pub profile: bool,
+    /// Fetch/decode engine selection (timing-neutral).
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -40,6 +88,7 @@ impl Default for SimConfig {
             div_extra: 15,
             max_instructions: 200_000_000,
             profile: false,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -48,6 +97,12 @@ impl SimConfig {
     /// Returns a copy with profiling enabled.
     pub fn with_profile(mut self) -> SimConfig {
         self.profile = true;
+        self
+    }
+
+    /// Returns a copy driven by the given engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> SimConfig {
+        self.engine = engine;
         self
     }
 }
@@ -90,19 +145,20 @@ pub struct RunResult {
 /// [`FetchMonitor`] and slots in here.
 #[derive(Debug, Clone)]
 pub struct Machine<M: FetchMonitor = NullMonitor> {
-    regs: [u32; 32],
-    pc: u32,
-    prev_pc: Option<u32>,
-    mem: Memory,
-    icache: Cache,
-    dcache: Cache,
-    stats: Stats,
-    output: String,
-    config: SimConfig,
-    monitor: M,
-    text_base: u32,
-    text_end: u32,
-    sink: Option<SharedSink>,
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
+    pub(crate) prev_pc: Option<u32>,
+    pub(crate) mem: Memory,
+    pub(crate) icache: Cache,
+    pub(crate) dcache: Cache,
+    pub(crate) decode: DecodeCache,
+    pub(crate) stats: Stats,
+    pub(crate) output: String,
+    pub(crate) config: SimConfig,
+    pub(crate) monitor: M,
+    pub(crate) text_base: u32,
+    pub(crate) text_end: u32,
+    pub(crate) sink: Option<SharedSink>,
 }
 
 impl Machine<NullMonitor> {
@@ -126,13 +182,20 @@ impl<M: FetchMonitor> Machine<M> {
         let mut regs = [0u32; 32];
         regs[Reg::SP.index() as usize] = STACK_TOP;
         regs[Reg::FP.index() as usize] = STACK_TOP;
+        let icache = Cache::new(config.icache);
+        let decode = DecodeCache::new(
+            config.icache.sets(),
+            config.icache.ways,
+            config.icache.line_bytes,
+        );
         Machine {
             regs,
             pc: image.entry,
             prev_pc: None,
             mem: Memory::load(image),
-            icache: Cache::new(config.icache),
+            icache,
             dcache: Cache::new(config.dcache),
+            decode,
             stats: Stats::default(),
             output: String::new(),
             config,
@@ -152,16 +215,6 @@ impl<M: FetchMonitor> Machine<M> {
         self.sink = Some(sink);
     }
 
-    fn reg(&self, r: Reg) -> u32 {
-        self.regs[r.index() as usize]
-    }
-
-    fn set_reg(&mut self, r: Reg, value: u32) {
-        if r != Reg::ZERO {
-            self.regs[r.index() as usize] = value;
-        }
-    }
-
     /// Read access to the monitor (e.g. to inspect verification counters).
     pub fn monitor(&self) -> &M {
         &self.monitor
@@ -173,17 +226,11 @@ impl<M: FetchMonitor> Machine<M> {
         &mut self.monitor
     }
 
-    /// Re-arms the machine to run `image` from scratch, reusing the cache
-    /// and memory allocations of the previous run instead of reallocating.
-    ///
-    /// Registers, pc, caches, stats, captured output and the observability
-    /// sink are all restored to their just-constructed state, so a reset
-    /// machine produces byte-identical results to a fresh
-    /// [`Machine::with_monitor`] under the same config. The monitor is left
-    /// untouched — stateless monitors (e.g. [`NullMonitor`]) can be reused
-    /// directly; monitors with per-run state must be re-provisioned via
-    /// [`Machine::reset_with_monitor`].
-    pub fn reset(&mut self, image: &Image) {
+    /// Restores the architectural state (registers, pc, memory, caches,
+    /// stats, output, sink) to match a freshly constructed machine loaded
+    /// with `image`. Shared by [`Machine::reset`] and [`Machine::rearm`],
+    /// which differ only in decoded-line handling.
+    fn restore(&mut self, image: &Image) {
         self.regs = [0; 32];
         self.regs[Reg::SP.index() as usize] = STACK_TOP;
         self.regs[Reg::FP.index() as usize] = STACK_TOP;
@@ -199,6 +246,21 @@ impl<M: FetchMonitor> Machine<M> {
         self.sink = None;
     }
 
+    /// Re-arms the machine to run `image` from scratch, reusing the cache
+    /// and memory allocations of the previous run instead of reallocating.
+    ///
+    /// Registers, pc, caches, stats, captured output and the observability
+    /// sink are all restored to their just-constructed state, so a reset
+    /// machine produces byte-identical results to a fresh
+    /// [`Machine::with_monitor`] under the same config. The monitor is left
+    /// untouched — stateless monitors (e.g. [`NullMonitor`]) can be reused
+    /// directly; monitors with per-run state must be re-provisioned via
+    /// [`Machine::reset_with_monitor`].
+    pub fn reset(&mut self, image: &Image) {
+        self.restore(image);
+        self.decode.clear();
+    }
+
     /// [`Machine::reset`] plus a fresh monitor, for monitors that carry
     /// per-run state (the secure monitor's guard windows and tamper log).
     pub fn reset_with_monitor(&mut self, image: &Image, monitor: M) {
@@ -206,9 +268,33 @@ impl<M: FetchMonitor> Machine<M> {
         self.reset(image);
     }
 
+    /// [`Machine::reset_with_monitor`] that additionally *retains* the
+    /// decoded-line store across the reset: each retained line is
+    /// revalidated against raw memory at its next I-cache fill, so
+    /// re-running an image that differs in only a few lines (the attack
+    /// harness's tamper trials) re-decrypts and re-decodes only those
+    /// lines.
+    ///
+    /// Sound only when the new monitor's `transform_fetch` is the same
+    /// function as the previous one's — identical raw bytes must decrypt
+    /// identically. Callers that change the transform (re-keying, different
+    /// encryption regions) must use [`Machine::reset_with_monitor`]
+    /// instead. Results are still byte-identical to a fresh machine: the
+    /// I-cache itself is fully reset, so miss patterns and timing do not
+    /// change.
+    pub fn rearm(&mut self, image: &Image, monitor: M) {
+        self.monitor = monitor;
+        self.restore(image);
+    }
+
     /// Runs until exit, fault, tamper detection or fuel exhaustion.
     pub fn run(&mut self) -> RunResult {
         let outcome = self.run_inner();
+        if matches!(outcome, Outcome::TamperDetected(_)) {
+            // Tamper response: drop decoded plaintext so a re-keyed or
+            // re-provisioned monitor never executes stale decodes.
+            self.decode.clear();
+        }
         if let Some(sink) = &self.sink {
             sink.emit(&TraceEvent::RunEnd {
                 cycles: self.stats.cycles,
@@ -235,44 +321,10 @@ impl<M: FetchMonitor> Machine<M> {
                 return Outcome::Fault(Fault::WildPc { pc });
             }
 
-            // --- fetch ---
-            self.stats.cycles += 1;
-            self.stats.icache_accesses += 1;
-            let access = self.icache.access(pc, false);
-            if let Some(sink) = &self.sink {
-                sink.emit(&TraceEvent::Fetch {
-                    pc,
-                    hit: access.hit,
-                });
-            }
-            if !access.hit {
-                self.stats.icache_misses += 1;
-                let line_words = u64::from(self.config.icache.line_words());
-                let fill =
-                    self.config.mem_latency + self.config.burst_word_cycles * (line_words - 1);
-                self.stats.cycles += fill;
-                let penalty = self
-                    .monitor
-                    .fill_penalty(access.line_addr, line_words as u32);
-                self.stats.monitor_fill_cycles += penalty;
-                self.stats.cycles += penalty;
-                if let Some(sink) = &self.sink {
-                    sink.emit(&TraceEvent::IcacheFill {
-                        line_addr: access.line_addr,
-                        words: line_words as u32,
-                        fill_cycles: fill,
-                        decrypt_cycles: penalty,
-                    });
-                }
-                if self.config.profile {
-                    *self.stats.imiss_counts.entry(access.line_addr).or_insert(0) += 1;
-                }
-            }
-            let raw = self.mem.read_u32(pc);
-            let word = self.monitor.transform_fetch(pc, raw);
-            let inst = match Inst::decode(word) {
-                Ok(inst) => inst,
-                Err(_) => return Outcome::Fault(Fault::IllegalInstruction { pc, word }),
+            // --- fetch + decode (crate::fetch) ---
+            let (inst, word) = match self.fetch_decode(pc) {
+                Ok(fetched) => fetched,
+                Err(outcome) => return outcome,
             };
 
             // --- commit observation (guard verification) ---
@@ -289,7 +341,7 @@ impl<M: FetchMonitor> Machine<M> {
             }
             self.prev_pc = Some(pc);
 
-            // --- execute ---
+            // --- execute (crate::exec) ---
             match self.execute(pc, inst) {
                 Step::Next => self.pc = pc.wrapping_add(4),
                 Step::Goto(target) => {
@@ -300,195 +352,12 @@ impl<M: FetchMonitor> Machine<M> {
             }
         }
     }
-
-    fn data_access(&mut self, addr: u32, write: bool) {
-        self.stats.dcache_accesses += 1;
-        let access = self.dcache.access(addr, write);
-        if !access.hit {
-            self.stats.dcache_misses += 1;
-            let line_words = u64::from(self.config.dcache.line_words());
-            self.stats.cycles +=
-                self.config.mem_latency + self.config.burst_word_cycles * (line_words - 1);
-        }
-        if access.writeback.is_some() {
-            self.stats.dcache_writebacks += 1;
-            self.stats.cycles +=
-                self.config.burst_word_cycles * u64::from(self.config.dcache.line_words());
-        }
-        if let Some(sink) = &self.sink {
-            sink.emit(&TraceEvent::DataAccess {
-                addr,
-                write,
-                hit: access.hit,
-                writeback: access.writeback.is_some(),
-            });
-        }
-    }
-
-    fn execute(&mut self, pc: u32, inst: Inst) -> Step {
-        use Inst::*;
-        let branch = |cond: bool, off: i16| -> Step {
-            if cond {
-                Step::Goto(pc.wrapping_add(4).wrapping_add(((off as i32) << 2) as u32))
-            } else {
-                Step::Next
-            }
-        };
-        match inst {
-            Sll { rd, rt, sh } => self.set_reg(rd, self.reg(rt) << sh),
-            Srl { rd, rt, sh } => self.set_reg(rd, self.reg(rt) >> sh),
-            Sra { rd, rt, sh } => self.set_reg(rd, ((self.reg(rt) as i32) >> sh) as u32),
-            Sllv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) << (self.reg(rs) & 31)),
-            Srlv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) >> (self.reg(rs) & 31)),
-            Srav { rd, rt, rs } => {
-                self.set_reg(rd, ((self.reg(rt) as i32) >> (self.reg(rs) & 31)) as u32)
-            }
-            Jr { rs } => return Step::Goto(self.reg(rs)),
-            Jalr { rd, rs } => {
-                let target = self.reg(rs);
-                self.set_reg(rd, pc.wrapping_add(4));
-                return Step::Goto(target);
-            }
-            Syscall => return self.syscall(pc),
-            Break => return Step::Stop(Outcome::Fault(Fault::Break { pc })),
-            Mul { rd, rs, rt } => {
-                self.stats.cycles += self.config.mul_extra;
-                self.set_reg(rd, self.reg(rs).wrapping_mul(self.reg(rt)));
-            }
-            Div { rd, rs, rt } => {
-                self.stats.cycles += self.config.div_extra;
-                let (a, b) = (self.reg(rs) as i32, self.reg(rt) as i32);
-                self.set_reg(rd, if b == 0 { 0 } else { a.wrapping_div(b) as u32 });
-            }
-            Rem { rd, rs, rt } => {
-                self.stats.cycles += self.config.div_extra;
-                let (a, b) = (self.reg(rs) as i32, self.reg(rt) as i32);
-                self.set_reg(rd, if b == 0 { 0 } else { a.wrapping_rem(b) as u32 });
-            }
-            Add { rd, rs, rt } | Addu { rd, rs, rt } => {
-                self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)))
-            }
-            Sub { rd, rs, rt } | Subu { rd, rs, rt } => {
-                self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)))
-            }
-            And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
-            Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
-            Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
-            Nor { rd, rs, rt } => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))),
-            Slt { rd, rs, rt } => {
-                self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)))
-            }
-            Sltu { rd, rs, rt } => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))),
-            Addi { rt, rs, imm } => self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32)),
-            Slti { rt, rs, imm } => {
-                self.set_reg(rt, u32::from((self.reg(rs) as i32) < i32::from(imm)))
-            }
-            Sltiu { rt, rs, imm } => {
-                self.set_reg(rt, u32::from(self.reg(rs) < (imm as i32 as u32)))
-            }
-            Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & u32::from(imm)),
-            Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | u32::from(imm)),
-            Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ u32::from(imm)),
-            Lui { rt, imm } => self.set_reg(rt, u32::from(imm) << 16),
-            Lb { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                self.data_access(addr, false);
-                self.set_reg(rt, self.mem.read_u8(addr) as i8 as i32 as u32);
-            }
-            Lbu { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                self.data_access(addr, false);
-                self.set_reg(rt, u32::from(self.mem.read_u8(addr)));
-            }
-            Lh { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if !addr.is_multiple_of(2) {
-                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
-                }
-                self.data_access(addr, false);
-                self.set_reg(rt, self.mem.read_u16(addr) as i16 as i32 as u32);
-            }
-            Lhu { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if !addr.is_multiple_of(2) {
-                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
-                }
-                self.data_access(addr, false);
-                self.set_reg(rt, u32::from(self.mem.read_u16(addr)));
-            }
-            Lw { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if !addr.is_multiple_of(4) {
-                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
-                }
-                self.data_access(addr, false);
-                self.set_reg(rt, self.mem.read_u32(addr));
-            }
-            Sb { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                self.data_access(addr, true);
-                self.mem.write_u8(addr, self.reg(rt) as u8);
-            }
-            Sh { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if !addr.is_multiple_of(2) {
-                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
-                }
-                self.data_access(addr, true);
-                self.mem.write_u16(addr, self.reg(rt) as u16);
-            }
-            Sw { rt, off, base } => {
-                let addr = self.reg(base).wrapping_add(off as i32 as u32);
-                if !addr.is_multiple_of(4) {
-                    return Step::Stop(Outcome::Fault(Fault::Unaligned { pc, addr }));
-                }
-                self.data_access(addr, true);
-                self.mem.write_u32(addr, self.reg(rt));
-            }
-            Beq { rs, rt, off } => return branch(self.reg(rs) == self.reg(rt), off),
-            Bne { rs, rt, off } => return branch(self.reg(rs) != self.reg(rt), off),
-            Blez { rs, off } => return branch(self.reg(rs) as i32 <= 0, off),
-            Bgtz { rs, off } => return branch(self.reg(rs) as i32 > 0, off),
-            Bltz { rs, off } => return branch((self.reg(rs) as i32) < 0, off),
-            Bgez { rs, off } => return branch(self.reg(rs) as i32 >= 0, off),
-            J { target } => return Step::Goto(target << 2),
-            Jal { target } => {
-                self.set_reg(Reg::RA, pc.wrapping_add(4));
-                return Step::Goto(target << 2);
-            }
-        }
-        Step::Next
-    }
-
-    fn syscall(&mut self, pc: u32) -> Step {
-        self.stats.syscalls += 1;
-        let service = self.reg(Reg::V0);
-        let a0 = self.reg(Reg::A0);
-        match service {
-            1 => self.output.push_str(&(a0 as i32).to_string()),
-            4 => {
-                let bytes = self.mem.read_cstr(a0, 1 << 16);
-                self.output.push_str(&String::from_utf8_lossy(&bytes));
-            }
-            10 => return Step::Stop(Outcome::Exit(0)),
-            11 => self.output.push((a0 as u8) as char),
-            17 => return Step::Stop(Outcome::Exit(a0 as i32)),
-            34 => self.output.push_str(&format!("{a0:08x}")),
-            other => return Step::Stop(Outcome::Fault(Fault::BadSyscall { pc, service: other })),
-        }
-        Step::Next
-    }
-}
-
-enum Step {
-    Next,
-    Goto(u32),
-    Stop(Outcome),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
 
     fn run(src: &str) -> RunResult {
         let image = flexprot_asm::assemble_or_panic(src);
@@ -541,6 +410,98 @@ loop:   addu $t0, $t0, $t1
         assert_eq!(machine.run(), fresh_sum);
         machine.reset(&other);
         assert_eq!(machine.run(), fresh_other);
+    }
+
+    #[test]
+    fn rearm_run_is_byte_identical_to_fresh_run() {
+        // Rearm retains decoded lines; with an identity transform it must
+        // still match a fresh machine exactly, whether the image changed
+        // (content revalidation re-decodes mutated lines) or not.
+        let a = flexprot_asm::assemble_or_panic(
+            "main: li $a0, 7\n li $v0, 1\n syscall\n li $v0, 10\n syscall\n",
+        );
+        let b = flexprot_asm::assemble_or_panic(
+            "main: li $a0, 9\n li $v0, 1\n syscall\n li $v0, 10\n syscall\n",
+        );
+        let fresh_a = Machine::new(&a, SimConfig::default()).run();
+        let fresh_b = Machine::new(&b, SimConfig::default()).run();
+        let mut machine = Machine::new(&a, SimConfig::default());
+        machine.run();
+        machine.rearm(&b, NullMonitor);
+        assert_eq!(machine.run(), fresh_b);
+        machine.rearm(&a, NullMonitor);
+        assert_eq!(machine.run(), fresh_a);
+        // Rearm onto the same unchanged image: pure revalidation path.
+        machine.rearm(&a, NullMonitor);
+        assert_eq!(machine.run(), fresh_a);
+    }
+
+    #[test]
+    fn engines_agree_including_stats() {
+        let programs = [
+            "main: li $a0, 7\n li $v0, 1\n syscall\n li $v0, 10\n syscall\n",
+            r#"
+main:   li   $t0, 0
+        li   $t1, 200
+loop:   addu $t0, $t0, $t1
+        addi $t1, $t1, -1
+        bgtz $t1, loop
+        move $a0, $t0
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+"#,
+            // Faulting program: illegal-fault parity (word reported too).
+            "main: li $t0, 0x10010001\n lw $t1, 0($t0)\n",
+        ];
+        for src in programs {
+            let image = flexprot_asm::assemble_or_panic(src);
+            let reference = Machine::new(
+                &image,
+                SimConfig::default().with_engine(EngineKind::Reference),
+            )
+            .run();
+            let predecoded = Machine::new(
+                &image,
+                SimConfig::default().with_engine(EngineKind::Predecoded),
+            )
+            .run();
+            assert_eq!(predecoded, reference);
+        }
+    }
+
+    #[test]
+    fn store_to_text_invalidates_decoded_line() {
+        // The program copies the instruction at `src` over the one at
+        // `dst` before executing it; both engines must see the patched
+        // instruction ("222"), not the stale decode ("111").
+        let src = r#"
+main:   la   $t0, patch
+        la   $t1, dst
+        lw   $t2, 0($t0)
+        sw   $t2, 0($t1)
+dst:    li   $a0, 111
+        li   $v0, 1
+        syscall
+        li   $v0, 10
+        syscall
+patch:  li   $a0, 222
+"#;
+        let image = flexprot_asm::assemble_or_panic(src);
+        for engine in [EngineKind::Reference, EngineKind::Predecoded] {
+            let r = Machine::new(&image, SimConfig::default().with_engine(engine)).run();
+            assert_eq!(r.outcome, Outcome::Exit(0), "{engine:?}");
+            assert_eq!(r.output, "222", "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn engine_kind_parses_from_str() {
+        assert_eq!("predecoded".parse(), Ok(EngineKind::Predecoded));
+        assert_eq!("reference".parse(), Ok(EngineKind::Reference));
+        assert!("fast".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::default(), EngineKind::Predecoded);
     }
 
     #[test]

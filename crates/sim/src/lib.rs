@@ -41,11 +41,14 @@
 
 pub mod cache;
 pub mod cpu;
+mod decode_cache;
+mod exec;
+mod fetch;
 pub mod mem;
 pub mod monitor;
 pub mod stats;
 
 pub use cache::{Cache, CacheConfig};
-pub use cpu::{Machine, Outcome, RunResult, SimConfig};
+pub use cpu::{EngineKind, Machine, Outcome, RunResult, SimConfig};
 pub use monitor::{FetchMonitor, NullMonitor, TamperEvent};
 pub use stats::{Fault, Stats};

@@ -35,14 +35,39 @@ impl fmt::Display for TamperEvent {
 ///
 /// Implementations must be deterministic: the simulator may be re-run for
 /// profiling and expects identical behaviour.
+///
+/// [`FetchMonitor::transform_fetch`] must additionally be a *pure function
+/// of `(addr, word)`*: the predecoded engine decrypts whole lines at
+/// I-cache fill time (via [`FetchMonitor::transform_fill`]) and caches the
+/// result, so a transform may be invoked once per line fill instead of once
+/// per fetch, for words the pipeline never executes, and again when an
+/// invalidated line is functionally refilled. Per-call side effects in the
+/// transform would diverge between the reference and predecoded engines.
+/// Stateful accounting belongs in [`FetchMonitor::fill_penalty`] (timing)
+/// and [`FetchMonitor::observe_commit`] (verification), which keep their
+/// exact reference-path call discipline.
 pub trait FetchMonitor {
     /// Transforms a fetched instruction word (e.g. decrypts it).
     ///
-    /// Called functionally on every instruction fetch with the word as
-    /// stored in memory. The default is the identity.
+    /// Called functionally with the word as stored in memory — on every
+    /// fetch by the reference engine, per filled word by the default
+    /// [`FetchMonitor::transform_fill`]. The default is the identity.
     fn transform_fetch(&mut self, addr: u32, word: u32) -> u32 {
         let _ = addr;
         word
+    }
+
+    /// Transforms a whole line of fetched words in place at I-cache fill.
+    ///
+    /// `words[i]` holds the memory contents of `line_addr + 4 * i`. The
+    /// default applies [`FetchMonitor::transform_fetch`] word by word;
+    /// line-granularity hardware (a burst decryption unit) can override it
+    /// to process the line in one pass. Overrides must stay functionally
+    /// identical to the per-word default.
+    fn transform_fill(&mut self, line_addr: u32, words: &mut [u32]) {
+        for (i, word) in words.iter_mut().enumerate() {
+            *word = self.transform_fetch(line_addr + 4 * i as u32, *word);
+        }
     }
 
     /// Extra cycles charged when the I-cache fills the line at `line_addr`.

@@ -59,15 +59,12 @@ impl Cfg {
             (i < len).then_some(i)
         };
 
-        // Leaders: the first word, the entry, every symbol, every target
-        // of a non-plain edge, and the word after any block-ending word.
+        // Leaders: the shared anchor set (first word, entry, in-text
+        // symbols), every target of a non-plain edge, and the word after
+        // any block-ending word.
         let mut leader = vec![false; len];
-        leader[0] = true;
-        if let Some(e) = index_of(image.entry) {
-            leader[e] = true;
-        }
-        for &addr in image.symbols.values() {
-            if let Some(i) = index_of(addr) {
+        for i in image.anchor_indices() {
+            if i < len {
                 leader[i] = true;
             }
         }
