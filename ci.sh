@@ -150,4 +150,42 @@ for key in '"schema":"flexprot-guardnet-v1"' '"guards"' '"nodes"' '"edges"' \
 done
 echo "guard network OK"
 
+echo "== translation validation: fpequiv baseline + fplint --equiv schema =="
+# Translation-validate every protection-matrix cell against its baseline:
+# the verdict column must read `proven` everywhere (fpequiv exits 1 on any
+# error-severity FP8xx finding), the grid must be byte-identical whatever
+# the worker count, and the per-cell verdicts must match the checked-in
+# baseline. Run UPDATE_BASELINES=1 ./ci.sh to regenerate the baseline
+# after a deliberate validator or matrix change.
+cargo run --quiet --release -p flexprot-cli --bin fpequiv -- \
+    --jobs 1 --csv "$EXEC_DIR/equiv.csv" > /dev/null || {
+    echo "fpequiv reported error-severity findings (a matrix cell is not proven)"
+    exit 1
+}
+cargo run --quiet --release -p flexprot-cli --bin fpequiv -- \
+    --jobs 4 --csv "$EXEC_DIR/equiv4.csv" > /dev/null
+diff -u "$EXEC_DIR/equiv.csv" "$EXEC_DIR/equiv4.csv" || {
+    echo "translation-validation grid differs between --jobs 1 and --jobs 4"; exit 1;
+}
+if [ "${UPDATE_BASELINES:-0}" = "1" ]; then
+    cp "$EXEC_DIR/equiv.csv" results/equiv_baseline.csv
+    echo "regenerated results/equiv_baseline.csv"
+fi
+diff -u results/equiv_baseline.csv "$EXEC_DIR/equiv.csv" || {
+    echo "translation-validation verdicts diverged from results/equiv_baseline.csv"
+    echo "hint: rerun as UPDATE_BASELINES=1 ./ci.sh and commit the regenerated baseline"
+    exit 1
+}
+# The machine-readable verdict document keeps its stable schema keys.
+cargo run --quiet --release -p flexprot-cli --bin fplint -- \
+    "$OBS_DIR/smoke.prot.fpx" --secmon "$OBS_DIR/smoke.fpm" \
+    --equiv "$OBS_DIR/smoke.fpx" > "$OBS_DIR/equiv.json"
+for key in '"schema":"flexprot-equiv-v1"' '"verdict":"proven"' '"stats"' \
+           '"windows"' '"refusals"' '"findings"'; do
+    grep -q "$key" "$OBS_DIR/equiv.json" || {
+        echo "equiv document missing $key"; exit 1;
+    }
+done
+echo "translation validation OK"
+
 echo "CI OK"

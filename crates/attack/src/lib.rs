@@ -19,10 +19,12 @@
 
 pub mod analysis;
 pub mod attacks;
+pub mod crosscheck;
 pub mod harness;
 pub mod oracle;
 
 pub use attacks::Attack;
+pub use crosscheck::{classify, cross_check, Agreement, CrossCheckSummary};
 pub use harness::{
     evaluate, evaluate_random_nop, evaluate_targeted, run_trial, run_trial_attributed,
     static_detects, AttackSummary, DetectionCause, TrialOutcome,

@@ -107,6 +107,7 @@ fn main() {
         ("F6", flexprot_bench::f6_latency),
         ("T9", flexprot_bench::t9_static_oracle),
         ("T10", flexprot_bench::t10_guardnet),
+        ("T12", flexprot_bench::t12_crosscheck),
     ];
 
     let wall = std::time::Instant::now();

@@ -20,6 +20,7 @@
 //! | F6 | detection-latency distribution |
 //! | T9 | static-oracle precision/recall vs dynamic detection |
 //! | T10 | guard-network targeted attack vs random baseline |
+//! | T12 | translation validator vs static oracle cross-check |
 //!
 //! Every runner takes a shared [`Engine`]: its grid cells fan out over the
 //! engine's worker pool, compiled images / profiled baselines / protected
@@ -876,6 +877,69 @@ pub fn t10_guardnet(params: &Params, _engine: &Engine) -> Table {
     table
 }
 
+/// T12 — translation validator vs static oracle cross-check.
+///
+/// For each attack workload and T3 protection config, runs a
+/// deterministic single-word mutation campaign
+/// ([`flexprot_attack::cross_check`]) and scores every mutated image
+/// against both independent analyses: the translation validator's
+/// semantic verdict (proven / inequivalent / refused) and the static
+/// oracle's detection prediction. The two must mesh — an edit the
+/// validator proves inequivalent is either an oracle-predicted detection
+/// (`caught`) or lands on the tamper surface the oracle already reports
+/// (`known_gap`); the `unexplained` column counts disagreements off the
+/// surface and must be zero everywhere. The cells fan out over the
+/// engine's worker pool and the table is byte-identical whatever the
+/// worker count.
+pub fn t12_crosscheck(params: &Params, engine: &Engine) -> Table {
+    let mut table = Table::new(
+        "T12",
+        "Translation validator vs static oracle cross-check",
+        &[
+            "config",
+            "workload",
+            "trials",
+            "inequivalent",
+            "refused",
+            "predicted",
+            "caught",
+            "known_gap",
+            "harmless_caught",
+            "benign",
+            "unexplained",
+        ],
+    );
+    let trials = params.trials() * 4;
+    let mut jobs = Vec::new();
+    for (config_name, config) in t3_configs() {
+        for &w in &params.attack_workloads() {
+            jobs.push((config_name, w, config.clone()));
+        }
+    }
+    let summaries = engine.run_jobs(&jobs, |_ctx, (_, w, config)| {
+        let base = w.image();
+        let protected = flexprot_core::protect(&base, config, None).expect("protect");
+        let mut rng = flexprot_isa::Rng64::new(0xC405_5EED);
+        flexprot_attack::cross_check(&base, &protected, trials, &mut rng)
+    });
+    for ((config_name, w, _), s) in jobs.iter().zip(&summaries) {
+        table.push(vec![
+            (*config_name).to_owned(),
+            w.name.to_owned(),
+            s.trials.to_string(),
+            s.inequivalent.to_string(),
+            s.refused.to_string(),
+            s.predicted.to_string(),
+            s.caught_damage.to_string(),
+            s.known_gaps.to_string(),
+            s.harmless_caught.to_string(),
+            s.benign.to_string(),
+            s.unexplained.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Runs every experiment in order over a shared engine (artifacts built by
 /// one experiment are reused by the next).
 pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
@@ -894,6 +958,7 @@ pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
         f6_latency(params, engine),
         t9_static_oracle(params, engine),
         t10_guardnet(params, engine),
+        t12_crosscheck(params, engine),
     ]
 }
 
@@ -998,6 +1063,27 @@ mod tests {
         let recall = tp as f64 / (tp + fneg).max(1) as f64;
         assert!(precision >= 0.9, "precision {precision:.3}\n{t}");
         assert!(recall >= 0.9, "recall {recall:.3}\n{t}");
+    }
+
+    #[test]
+    fn t12_crosscheck_has_zero_unexplained_disagreements() {
+        let t = t12_crosscheck(&QUICK, &engine());
+        // Quick mode: rle crossed with the four T3 configs.
+        assert_eq!(t.rows.len(), 4, "{t}");
+        for row in &t.rows {
+            // trials are conserved across the agreement classes.
+            let trials: u32 = row[2].parse().unwrap();
+            let classes: u32 = row[6..=10].iter().map(|c| c.parse::<u32>().unwrap()).sum();
+            assert_eq!(trials, classes, "{t}");
+            // The acceptance criterion: zero unexplained disagreements.
+            assert_eq!(row[10], "0", "{t}");
+            // Random single-word edits do real damage everywhere.
+            assert!(row[3].parse::<u32>().unwrap() > 0, "{t}");
+        }
+        // Known gaps exist only where coverage has holes: the fully
+        // guarded+encrypted config leaves none.
+        let strong = t.rows.iter().find(|r| r[0] == "guards+enc").unwrap();
+        assert_eq!(strong[7], "0", "{t}");
     }
 
     #[test]

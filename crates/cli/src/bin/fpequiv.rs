@@ -1,0 +1,15 @@
+//! Thin wrapper over [`flexprot_cli::fpequiv`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match flexprot_cli::fpequiv(&args) {
+        Ok(summary) => {
+            print!("{}", summary.report);
+            std::process::exit(summary.exit_code);
+        }
+        Err(err) => {
+            eprintln!("fpequiv: {err}");
+            std::process::exit(2);
+        }
+    }
+}

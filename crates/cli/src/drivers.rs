@@ -541,7 +541,8 @@ pub struct LintSummary {
 }
 
 /// `fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] [--allow L,..]
-/// [--format human|csv|json] [--csv] [--surface] [--guardnet] [--lints]`.
+/// [--format human|csv|json] [--csv] [--surface] [--guardnet]
+/// [--equiv <baseline.fpx>] [--lints]`.
 ///
 /// Statically verifies the protection contract of an image against its
 /// monitor configuration (transparent configuration if `--secmon` is
@@ -551,7 +552,10 @@ pub struct LintSummary {
 /// `--surface` prints the static tamper-surface map
 /// (`flexprot-surface-v1` JSON) and `--guardnet` the guard network with
 /// its checksum proofs (`flexprot-guardnet-v1` JSON) instead of the lint
-/// report; `--lints` prints the lint table and exits.
+/// report; `--equiv <baseline.fpx>` runs the translation validator
+/// against the given *baseline* image and prints the
+/// `flexprot-equiv-v1` verdict document (FP8xx findings); `--lints`
+/// prints the lint table and exits.
 ///
 /// # Exit codes
 ///
@@ -570,13 +574,16 @@ pub struct LintSummary {
 pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
     use flexprot_verify::{analyze, lint_by_id, LintPolicy, LINTS};
 
-    let args = parse(raw_args, &["secmon", "deny", "allow", "format"])?;
+    let args = parse(raw_args, &["secmon", "deny", "allow", "format", "equiv"])?;
     if args.has("lints") {
         let mut out = String::new();
         for lint in LINTS {
+            // Severity's Display ignores format padding, so stringify it
+            // first to keep the columns aligned across all families.
+            let severity = lint.default_severity.to_string();
             out.push_str(&format!(
-                "{}  {:<7}  {:<28}  {}\n",
-                lint.id, lint.default_severity, lint.name, lint.description
+                "{}  {severity:<7}  {:<29}  {}\n",
+                lint.id, lint.name, lint.description
             ));
         }
         return Ok(LintSummary {
@@ -588,7 +595,7 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
         return Err(CliError(
             "usage: fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] \
              [--allow L,..] [--format human|csv|json] [--csv] [--surface] \
-             [--guardnet] [--lints]"
+             [--guardnet] [--equiv <baseline.fpx>] [--lints]"
                 .to_owned(),
         ));
     };
@@ -625,6 +632,14 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
             .collect()
     };
     let policy = LintPolicy::new(&list("deny")?, &list("allow")?).map_err(CliError)?;
+    if let Some(base_path) = args.value("equiv") {
+        let base = load_image(base_path)?;
+        let equiv = flexprot_verify::equiv::validate_with_policy(&base, &image, &config, &policy);
+        return Ok(LintSummary {
+            report: equiv.to_json(),
+            exit_code: i32::from(!equiv.is_clean()),
+        });
+    }
     let verification = analyze(&image, &config, &policy);
     let report = if args.has("guardnet") {
         verification.guardnet_json()
@@ -914,6 +929,117 @@ pub fn fpnetmap(raw_args: &[String]) -> Result<LintSummary, CliError> {
     for result in results {
         let row = result?;
         errors += row[13].parse::<usize>().unwrap_or(0);
+        csv.push_str(&row.join(","));
+        csv.push('\n');
+    }
+    batch.write_csv(&csv)?;
+    batch.write_metrics(&engine)?;
+    Ok(LintSummary {
+        report: csv,
+        exit_code: i32::from(errors > 0),
+    })
+}
+
+/// `fpequiv [--programs a,b,..] [--jobs N] [--csv <out.csv>]
+/// [--metrics <out.json>]` — translation-validate every cell of the
+/// protection matrix.
+///
+/// Each cell protects the program and runs the translation validator
+/// ([`flexprot_verify::equiv`]) against the unprotected baseline: CFG
+/// alignment modulo inserted guard runs, guard-window transparency
+/// (no live architectural state written), and cipher round-trip
+/// identity. One CSV row per cell carries the three-valued verdict
+/// (`proven` / `inequivalent` / `refused`), the witness address when one
+/// exists, the alignment and window tallies, and the FP801–FP804 finding
+/// counts. Cells fan out over `--jobs` workers through the batched
+/// execution engine and the rows are identical whatever the worker
+/// count.
+///
+/// # Exit codes
+///
+/// Same contract as [`fplint`]: `0` when every cell is proven (or
+/// soundly refused with only warning-severity findings), `1` when any
+/// cell has an error-severity finding, `2` (from the binary) on usage
+/// or I/O errors.
+///
+/// # Errors
+///
+/// Reports unknown program names, compilation and I/O failures.
+pub fn fpequiv(raw_args: &[String]) -> Result<LintSummary, CliError> {
+    use flexprot_verify::{equiv, Severity};
+
+    let mut valued = vec!["programs"];
+    valued.extend(BatchOpts::VALUED);
+    let args = parse(raw_args, &valued)?;
+    if !args.positional.is_empty() {
+        return Err(CliError(
+            "usage: fpequiv [--programs a,b,..] [--jobs N] [--csv <out.csv>] \
+             [--metrics <out.json>]"
+                .to_owned(),
+        ));
+    }
+    let batch = BatchOpts::from_args(&args)?;
+    let jobs = matrix_jobs(args.value("programs"))?;
+    let engine = Engine::new(batch.workers);
+    let results = engine.run_jobs(&jobs, |_ctx, (name, cell, image, config)| {
+        let protected = protect(image, config, None)
+            .map_err(|e| CliError(format!("{name}/{cell}: protect failed: {e}")))?;
+        let report = equiv::validate(image, &protected.image, &protected.secmon);
+        let witness = match report.verdict {
+            equiv::EquivVerdict::Inequivalent { witness_addr } => format!("{witness_addr:#010x}"),
+            _ => "none".to_owned(),
+        };
+        let errors = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count();
+        Ok::<_, CliError>(vec![
+            name.clone(),
+            cell.clone(),
+            report.verdict.label().to_owned(),
+            witness,
+            report.stats.base_words.to_string(),
+            report.stats.prot_words.to_string(),
+            report.stats.guard_words.to_string(),
+            report.stats.aligned_words.to_string(),
+            report.stats.windows_proven.to_string(),
+            report.stats.windows_refused.to_string(),
+            report.stats.cipher_regions.to_string(),
+            report.stats.cipher_words.to_string(),
+            report.count_id("FP801").to_string(),
+            report.count_id("FP802").to_string(),
+            report.count_id("FP803").to_string(),
+            report.count_id("FP804").to_string(),
+            errors.to_string(),
+        ])
+    });
+
+    let header = [
+        "program",
+        "cell",
+        "verdict",
+        "witness",
+        "base_words",
+        "prot_words",
+        "guard_words",
+        "aligned",
+        "windows_proven",
+        "windows_refused",
+        "cipher_regions",
+        "cipher_words",
+        "fp801",
+        "fp802",
+        "fp803",
+        "fp804",
+        "errors",
+    ];
+    let mut csv = header.join(",");
+    csv.push('\n');
+    let mut errors = 0usize;
+    for result in results {
+        let row = result?;
+        errors += row[16].parse::<usize>().unwrap_or(0);
         csv.push_str(&row.join(","));
         csv.push('\n');
     }
@@ -1299,6 +1425,23 @@ mod tests {
             "{}",
             table.report
         );
+        // Every lint family is listed with its documented severity — the
+        // guard-network (FP7xx) and translation-validation (FP8xx)
+        // families included — and the severity column stays aligned.
+        for line in [
+            "FP703  error",
+            "FP704  note",
+            "FP801  error",
+            "FP804  warning",
+        ] {
+            assert!(table.report.contains(line), "{line}:\n{}", table.report);
+        }
+        for l in table.report.lines() {
+            // id (5) + 2 spaces + severity padded to 7 + 2 spaces = the
+            // name column always starts at byte 16.
+            assert_eq!(l.as_bytes()[15], b' ', "ragged: {l}");
+            assert_ne!(l.as_bytes()[16], b' ', "ragged: {l}");
+        }
 
         let src = write_sample_source("lintpol.s");
         let fpx = tmp("lintpol.fpx");
@@ -1518,6 +1661,114 @@ mod tests {
 
         assert!(fpsurface(&strs(&["--programs", "bogus"])).is_err());
         assert!(fpsurface(&strs(&["stray-positional"])).is_err());
+    }
+
+    #[test]
+    fn fpequiv_grid_is_deterministic_and_proven() {
+        // A trimmed grid (one kernel, one workload) keeps the test fast;
+        // the full six-program grid runs in CI against the checked-in
+        // baseline.
+        let serial = fpequiv(&strs(&["--programs", "collatz,rle", "--jobs", "1"])).unwrap();
+        assert_eq!(serial.exit_code, 0, "{}", serial.report);
+        let lines: Vec<&str> = serial.report.lines().collect();
+        assert_eq!(
+            lines[0],
+            "program,cell,verdict,witness,base_words,prot_words,guard_words,aligned,\
+             windows_proven,windows_refused,cipher_regions,cipher_words,\
+             fp801,fp802,fp803,fp804,errors"
+        );
+        // 2 programs x 7 cells, plus the header.
+        assert_eq!(lines.len(), 15, "{}", serial.report);
+        for line in &lines[1..] {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 17, "{line}");
+            // Untampered pipeline output is fully proven: no witnesses,
+            // no refusals, no FP8xx findings.
+            assert_eq!(cols[2], "proven", "{line}");
+            assert_eq!(cols[3], "none", "{line}");
+            assert_eq!(cols[9], "0", "{line}");
+            assert_eq!(cols[16], "0", "{line}");
+            // Guard cells insert words; alignment still covers every
+            // baseline word.
+            let base: usize = cols[4].parse().unwrap();
+            let aligned: usize = cols[7].parse().unwrap();
+            assert_eq!(base, aligned, "{line}");
+            if cols[1].starts_with("guards") {
+                assert!(cols[6].parse::<usize>().unwrap() > 0, "{line}");
+            }
+            if cols[1].starts_with("enc") || cols[1] == "guards-enc" {
+                assert!(cols[11].parse::<usize>().unwrap() > 0, "{line}");
+            }
+        }
+
+        let parallel = fpequiv(&strs(&["--programs", "collatz,rle", "--jobs", "4"])).unwrap();
+        assert_eq!(serial, parallel);
+
+        assert!(fpequiv(&strs(&["--programs", "bogus"])).is_err());
+        assert!(fpequiv(&strs(&["stray-positional"])).is_err());
+    }
+
+    #[test]
+    fn fplint_equiv_emits_the_schema_and_exit_codes_hold() {
+        use flexprot_trace::json;
+
+        let src = write_sample_source("equiv.s");
+        let fpx = tmp("equiv.fpx");
+        let prot = tmp("equiv.prot.fpx");
+        let fpm = tmp("equiv.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+            "--encrypt",
+            "program",
+        ]))
+        .unwrap();
+
+        // Exit 0: the protected image is proven equivalent to its
+        // baseline, in the stable flexprot-equiv-v1 document.
+        let clean = fplint(&strs(&[&prot, "--secmon", &fpm, "--equiv", &fpx])).unwrap();
+        assert_eq!(clean.exit_code, 0, "{}", clean.report);
+        let doc = json::parse(&clean.report).expect("equiv report is JSON");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("flexprot-equiv-v1")
+        );
+        assert_eq!(
+            doc.get("verdict").and_then(json::Value::as_str),
+            Some("proven")
+        );
+
+        // Exit 1: a flipped ciphertext bit breaks the cipher round-trip,
+        // with a witness address in the document.
+        let mut image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
+        image.text[1] ^= 1 << 3;
+        let bad = tmp("equiv.bad.fpx");
+        std::fs::write(&bad, image.to_bytes()).unwrap();
+        let dirty = fplint(&strs(&[&bad, "--secmon", &fpm, "--equiv", &fpx])).unwrap();
+        assert_eq!(dirty.exit_code, 1, "{}", dirty.report);
+        let doc = json::parse(&dirty.report).expect("equiv report is JSON");
+        assert_eq!(
+            doc.get("verdict").and_then(json::Value::as_str),
+            Some("inequivalent")
+        );
+        assert!(doc.get("witness").is_some(), "{}", dirty.report);
+        assert!(dirty.report.contains("FP803"), "{}", dirty.report);
+
+        // Exit 2 (CliError from the binary): unreadable baseline.
+        assert!(fplint(&strs(&[
+            &prot,
+            "--secmon",
+            &fpm,
+            "--equiv",
+            "/nonexistent.fpx"
+        ]))
+        .is_err());
     }
 
     #[test]

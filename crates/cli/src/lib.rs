@@ -1,8 +1,8 @@
 //! Driver logic for the command-line toolchain.
 //!
 //! Each binary (`fpasm`, `fpobjdump`, `fpprotect`, `fprun`, `fplint`,
-//! `fpsweep`, `fpsurface`, `fpnetmap`) is a thin wrapper around a driver
-//! function here,
+//! `fpsweep`, `fpsurface`, `fpnetmap`, `fpequiv`) is a thin wrapper
+//! around a driver function here,
 //! so the full argument-parsing and I/O logic is unit-testable without
 //! spawning processes.
 //!
@@ -21,6 +21,6 @@ pub mod args;
 pub mod drivers;
 
 pub use drivers::{
-    fpasm, fpcc, fplint, fpnetmap, fpobjdump, fpprotect, fprun, fpsurface, fpsweep, CliError,
-    LintSummary, RunSummary,
+    fpasm, fpcc, fpequiv, fplint, fpnetmap, fpobjdump, fpprotect, fprun, fpsurface, fpsweep,
+    CliError, LintSummary, RunSummary,
 };

@@ -25,6 +25,17 @@ pub enum ProtectError {
         /// The first finding, preformatted for display.
         first: String,
     },
+    /// The translation validator could not prove the protected image
+    /// semantically equivalent to its baseline (mandatory self-check
+    /// requested via `ProtectionConfig::with_translation_validation`).
+    TranslationUnproven {
+        /// `"inequivalent"` or `"refused"`.
+        verdict: &'static str,
+        /// Witness address for inequivalence, if any.
+        witness: Option<u32>,
+        /// The first finding or refusal reason, preformatted for display.
+        first: String,
+    },
 }
 
 impl fmt::Display for ProtectError {
@@ -57,6 +68,17 @@ impl fmt::Display for ProtectError {
                     f,
                     "post-protection verification failed with {errors} error(s); first: {first}"
                 )
+            }
+            ProtectError::TranslationUnproven {
+                verdict,
+                witness,
+                ref first,
+            } => {
+                write!(f, "translation validation {verdict}")?;
+                if let Some(addr) = witness {
+                    write!(f, " (witness {addr:#010x})")?;
+                }
+                write!(f, ": {first}")
             }
         }
     }

@@ -29,6 +29,11 @@ pub struct ProtectionConfig {
     /// Forwarded to the monitor: abort on first tamper event (default
     /// true via [`ProtectionConfig::new`]).
     pub halt_on_tamper: bool,
+    /// Run the translation validator (`flexprot-verify`'s `equiv`) as a
+    /// mandatory self-check: refuse to ship unless the protected image is
+    /// *proven* semantically equivalent to the baseline (default false —
+    /// the lighter invariant verification always runs).
+    pub validate_translation: bool,
 }
 
 impl ProtectionConfig {
@@ -39,6 +44,7 @@ impl ProtectionConfig {
             encryption: None,
             watermark: None,
             halt_on_tamper: true,
+            validate_translation: false,
         }
     }
 
@@ -58,6 +64,14 @@ impl ProtectionConfig {
     /// [`crate::watermark`]). Requires [`ProtectionConfig::with_guards`].
     pub fn with_watermark(mut self, payload: impl Into<Vec<u8>>) -> ProtectionConfig {
         self.watermark = Some(payload.into());
+        self
+    }
+
+    /// Makes the translation validator a mandatory self-check:
+    /// [`protect`] fails with [`ProtectError::TranslationUnproven`] unless
+    /// the protected image is *proven* equivalent to the baseline.
+    pub fn with_translation_validation(mut self) -> ProtectionConfig {
+        self.validate_translation = true;
         self
     }
 
@@ -188,6 +202,13 @@ impl Protected {
     /// cipher region covers (see `flexprot-verify`).
     pub fn surface_map(&self) -> flexprot_verify::SurfaceMap {
         flexprot_verify::surface(&self.image, &self.secmon)
+    }
+
+    /// Translation-validates the shipped image against its baseline:
+    /// alignment modulo guard insertion, guard-window transparency, and
+    /// cipher round-trip identity (see `flexprot-verify`'s `equiv` module).
+    pub fn validate_against(&self, base: &Image) -> flexprot_verify::EquivReport {
+        flexprot_verify::equiv::validate(base, &self.image, &self.secmon)
     }
 
     /// The who-checks-whom guard network of the shipped image, plus the
@@ -326,6 +347,36 @@ pub fn protect_traced(
             .unwrap_or_default();
         return Err(ProtectError::VerificationFailed { errors, first });
     }
+
+    // Optional stronger self-check: translation validation proves the
+    // transform semantics-preserving (guard windows architecturally inert,
+    // ciphertext round-trips to the baseline stream), not merely that the
+    // shipped image satisfies the protection invariants.
+    if config.validate_translation {
+        let equiv = protected.validate_against(image);
+        match equiv.verdict {
+            flexprot_verify::EquivVerdict::Proven => {}
+            flexprot_verify::EquivVerdict::Inequivalent { witness_addr } => {
+                return Err(ProtectError::TranslationUnproven {
+                    verdict: "inequivalent",
+                    witness: Some(witness_addr),
+                    first: equiv
+                        .findings
+                        .iter()
+                        .find(|f| f.severity == flexprot_verify::Severity::Error)
+                        .map(|f| f.to_string())
+                        .unwrap_or_default(),
+                });
+            }
+            flexprot_verify::EquivVerdict::Refused { reason } => {
+                return Err(ProtectError::TranslationUnproven {
+                    verdict: "refused",
+                    witness: None,
+                    first: reason,
+                });
+            }
+        }
+    }
     Ok(protected)
 }
 
@@ -431,6 +482,20 @@ fold:   mul  $t1, $t0, $t0
         assert_eq!(r.output, base.output);
         assert!(r.stats.cycles > base.stats.cycles);
         assert!(protected.report.size_overhead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn translation_validation_self_check_ships_clean_output() {
+        let (image, _) = baseline();
+        let config = ProtectionConfig::new()
+            .with_guards(GuardConfig::with_density(1.0))
+            .with_encryption(EncryptConfig::whole_program(0xFACE))
+            .with_translation_validation();
+        let protected = protect(&image, &config, None).unwrap();
+        // And the convenience accessor reproduces the proof on demand.
+        let report = protected.validate_against(&image);
+        assert_eq!(report.verdict, flexprot_verify::EquivVerdict::Proven);
+        assert!(report.refusals.is_empty());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod monitor;
 pub mod schedule;
 pub mod serialize;
 
-pub use cipher::{keystream, EncRegion, RegionTable};
+pub use cipher::{derive_subkey, keystream, EncRegion, RegionTable};
 pub use decrypt::DecryptModel;
 pub use guard::{decode_guard_symbol, encode_guard_inst, WindowHasher, SIG_SYMBOLS};
 pub use monitor::SecMon;

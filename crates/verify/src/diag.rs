@@ -120,6 +120,14 @@ lints! {
         "abstract interpretation proves a guard's embedded signature never matches its window");
     MIN_CUT_WEAK_LINK = ("FP704", "min-cut-weak-link", Note,
         "the guard belongs to a minimum cut of the guard network (or the network is disconnected)");
+    EQUIV_GUARD_CLOBBER = ("FP801", "guard-clobbers-live-reg", Error,
+        "translation validation: a guard-window instruction writes live architectural state");
+    EQUIV_UNALIGNED = ("FP802", "unaligned-block", Error,
+        "translation validation: a protected block cannot be aligned with its baseline block");
+    EQUIV_CIPHER_MISMATCH = ("FP803", "cipher-roundtrip-mismatch", Error,
+        "translation validation: decrypting an encrypted word does not restore the baseline instruction");
+    EQUIV_REFUSED = ("FP804", "refused-window", Warning,
+        "translation validation refused to judge a guard window; the refusal reason is logged");
 }
 
 /// Looks up a lint by its stable ID or short name.

@@ -42,6 +42,7 @@ pub mod coverage;
 pub mod dataflow;
 pub mod diag;
 pub mod domtree;
+pub mod equiv;
 pub mod flow;
 pub mod guardnet;
 pub mod liveness;
@@ -51,6 +52,7 @@ pub use cfg::{BasicBlock, Cfg};
 pub use coverage::{Coverage, GuardWindow, SurfaceEntry, SurfaceMap};
 pub use diag::{lint_by_id, Finding, Lint, LintPolicy, Report, Severity, VerifyStats, LINTS};
 pub use domtree::DomTree;
+pub use equiv::{EquivReport, EquivStats, EquivVerdict, WindowEquiv};
 pub use flow::{Edge, EdgeKind, Flow};
 pub use guardnet::{GuardNet, NetNode, WeakLink};
 pub use liveness::Liveness;

@@ -1,0 +1,163 @@
+//! Property tests: the value-set abstract domain against its lattice laws.
+//!
+//! `absint`'s `AbsVal` is a finite-height lattice only because the Set
+//! variant caps at `MAX_SET` members — the cap *is* the widening. These
+//! properties pin the algebra that the fixpoint solver and the
+//! translation validator silently rely on: `join` is a commutative,
+//! associative, idempotent least upper bound; `from_values` canonicalises
+//! (sorted, distinct, auto-widened); ascending chains terminate within a
+//! bounded number of strict increases; and `map`/`map2` are sound
+//! abstractions of their concrete operations.
+
+use flexprot_isa::Rng64;
+use flexprot_verify::absint::MAX_SET;
+use flexprot_verify::AbsVal;
+
+/// A random lattice element, biased across all four variants. Values are
+/// drawn from a small universe so joins collide often enough to exercise
+/// dedup and the cap.
+fn arb(rng: &mut Rng64) -> AbsVal {
+    match rng.below(10) {
+        0 => AbsVal::Bot,
+        1 => AbsVal::Top,
+        2..=4 => AbsVal::Const(rng.below(32) as u32),
+        _ => {
+            let n = rng.range_inclusive(0, (MAX_SET + 4) as u64);
+            AbsVal::from_values((0..n).map(|_| rng.below(32) as u32))
+        }
+    }
+}
+
+/// Partial order via the lub: `a <= b` iff `a.join(b) == b`.
+fn leq(a: &AbsVal, b: &AbsVal) -> bool {
+    &a.join(b) == b
+}
+
+#[test]
+fn join_is_commutative_associative_idempotent() {
+    let mut rng = Rng64::new(0xAB51_1A77);
+    for _ in 0..2000 {
+        let (a, b, c) = (arb(&mut rng), arb(&mut rng), arb(&mut rng));
+        assert_eq!(a.join(&b), b.join(&a), "commutativity: {a:?} {b:?}");
+        assert_eq!(
+            a.join(&b).join(&c),
+            a.join(&b.join(&c)),
+            "associativity: {a:?} {b:?} {c:?}"
+        );
+        assert_eq!(a.join(&a), a, "idempotence: {a:?}");
+        // Bot and Top are the lattice bounds.
+        assert_eq!(a.join(&AbsVal::Bot), a);
+        assert_eq!(a.join(&AbsVal::Top), AbsVal::Top);
+    }
+}
+
+#[test]
+fn join_is_an_upper_bound_and_admits_both_concretisations() {
+    let mut rng = Rng64::new(0x0B0D_B0D5);
+    for _ in 0..2000 {
+        let (a, b) = (arb(&mut rng), arb(&mut rng));
+        let j = a.join(&b);
+        assert!(leq(&a, &j), "{a:?} <= {a:?} join {b:?}");
+        assert!(leq(&b, &j), "{b:?} <= {a:?} join {b:?}");
+        // Soundness: everything either side admits, the join admits.
+        for v in 0..32u32 {
+            if a.admits(v) || b.admits(v) {
+                assert!(j.admits(v), "{j:?} must admit {v} from {a:?}/{b:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn from_values_canonicalises_and_widens_at_the_cap() {
+    let mut rng = Rng64::new(0xCA90_CA90);
+    for _ in 0..2000 {
+        let n = rng.range_inclusive(0, 2 * MAX_SET as u64);
+        let vals: Vec<u32> = (0..n).map(|_| rng.below(64) as u32).collect();
+        let av = AbsVal::from_values(vals.iter().copied());
+        let mut distinct = vals.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        match &av {
+            AbsVal::Bot => assert!(distinct.is_empty()),
+            AbsVal::Const(w) => assert_eq!(distinct, vec![*w]),
+            AbsVal::Set(ws) => {
+                assert_eq!(*ws, distinct, "sets are sorted and distinct");
+                assert!(
+                    (2..=MAX_SET).contains(&ws.len()),
+                    "set size {} out of range",
+                    ws.len()
+                );
+            }
+            AbsVal::Top => assert!(distinct.len() > MAX_SET, "premature widening"),
+        }
+        for &v in &distinct {
+            assert!(av.admits(v));
+        }
+    }
+}
+
+#[test]
+fn ascending_chains_terminate_within_the_lattice_height() {
+    // Joining random one-value increments can strictly increase the
+    // element at most MAX_SET + 1 times (Bot -> Const -> |Set| growing to
+    // MAX_SET -> Top): the cap-as-widening argument for termination of
+    // the fixpoint iteration, checked on random chains.
+    let mut rng = Rng64::new(0x7E_2147A7E);
+    for _ in 0..500 {
+        let mut cur = AbsVal::Bot;
+        let mut strict_increases = 0usize;
+        for _ in 0..10 * MAX_SET {
+            let next = cur.join(&AbsVal::Const(rng.next_u32()));
+            assert!(leq(&cur, &next), "chain must ascend");
+            if next != cur {
+                strict_increases += 1;
+                cur = next;
+            }
+        }
+        assert!(
+            strict_increases <= MAX_SET + 1,
+            "chain rose {strict_increases} times"
+        );
+        // And once Top is reached, it is absorbing.
+        if cur == AbsVal::Top {
+            assert_eq!(cur.join(&arb(&mut rng)), AbsVal::Top);
+        }
+    }
+}
+
+#[test]
+fn map_and_map2_are_sound_abstractions() {
+    let mut rng = Rng64::new(0x50A9_50A9);
+    for _ in 0..2000 {
+        let (a, b) = (arb(&mut rng), arb(&mut rng));
+        let f = |x: u32| x.wrapping_mul(3).wrapping_add(1);
+        let fa = a.map(f);
+        if let Some(vs) = a.values() {
+            for &v in vs {
+                assert!(fa.admits(f(v)), "{fa:?} must admit f({v})");
+            }
+        } else {
+            assert_eq!(fa, AbsVal::Top);
+        }
+        let g = u32::wrapping_add;
+        let gab = a.map2(&b, g);
+        match (a.values(), b.values()) {
+            (Some(xs), Some(ys)) => {
+                for &x in xs {
+                    for &y in ys {
+                        assert!(gab.admits(g(x, y)), "{gab:?} must admit {x}+{y}");
+                    }
+                }
+                // Bot is absorbing for binary ops (no feasible pair).
+                if xs.is_empty() || ys.is_empty() {
+                    assert_eq!(gab, AbsVal::Bot);
+                }
+            }
+            // Bot absorbs even against Top — an empty side leaves no
+            // feasible pair; otherwise Top wins.
+            (Some(&[]), None) | (None, Some(&[])) => assert_eq!(gab, AbsVal::Bot),
+            _ => assert_eq!(gab, AbsVal::Top),
+        }
+    }
+}

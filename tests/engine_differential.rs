@@ -12,8 +12,8 @@
 //! engines must then agree on `OutOfFuel` at the same instruction count.
 
 use flexprot::core::{protect, EncryptConfig, Granularity, GuardConfig, ProtectionConfig};
-use flexprot::isa::Rng64;
-use flexprot::sim::{EngineKind, SimConfig};
+use flexprot::isa::{Inst, Reg, Rng64};
+use flexprot::sim::{EngineKind, Machine, Outcome, SimConfig};
 
 const GUARD_KEY: u64 = 0x0BAD_C0DE_CAFE_F00D;
 const ENC_KEY: u64 = 0x5EED_5EED_5EED_5EED;
@@ -123,6 +123,62 @@ fn random_minic(rng: &mut Rng64) -> String {
     block(rng, 2, &mut body, 1);
     body.push_str("    print(a + b + c + d);\n    return 0;\n");
     format!("int helper(int x) {{ return x * 2 + 1; }}\n\nint main() {{\n{body}}}\n")
+}
+
+/// Self-modifying code aimed at the decode cache's weakest spot: a store
+/// into the *currently executing* I-cache line. The predecoded engine
+/// keeps decoded instructions per cache line, so `note_text_write` must
+/// invalidate the patched slot before the very next fetch — the store at
+/// text offset 16 rewrites the word at offset 20 (same 32-byte line, one
+/// instruction ahead of the PC), and both engines must execute the
+/// patched instruction, not the stale decoded one.
+#[test]
+fn store_into_executing_line_invalidates_decoded_slot_before_next_fetch() {
+    // The patched-in instruction is computed from the real encoder so the
+    // test cannot drift from the ISA: `ori $a0, $zero, 2`.
+    let patch_word = Inst::Ori {
+        rt: Reg::A0,
+        rs: Reg::ZERO,
+        imm: 2,
+    }
+    .encode();
+    let source = format!(
+        r#"
+main:   la   $t0, patch          # words 0-1
+        lui  $t1, {hi}
+        ori  $t1, $t1, {lo}
+        sw   $t1, 0($t0)         # word 4 (offset 16): patches offset 20
+patch:  li   $a0, 1              # word 5 (offset 20): overwritten above
+        li   $v0, 1
+        syscall                  # prints $a0 -- must be the patched 2
+        li   $v0, 10
+        li   $a0, 0
+        syscall
+"#,
+        hi = patch_word >> 16,
+        lo = patch_word & 0xFFFF
+    );
+    let image = flexprot::asm::assemble(&source).expect("self-modifying program assembles");
+    // Both the store and its target sit in one default 32-byte I-cache
+    // line; if the layout ever drifts, the test would silently stop
+    // exercising the same-line case, so pin it.
+    let patch_addr = image.symbol("patch").unwrap();
+    let store_addr = image.entry + 16;
+    assert_eq!(
+        store_addr / 32,
+        patch_addr / 32,
+        "store and patch target must share an I-cache line"
+    );
+
+    let run = |kind| Machine::new(&image, SimConfig::default().with_engine(kind)).run();
+    let fast = run(EngineKind::Predecoded);
+    let reference = run(EngineKind::Reference);
+    assert_eq!(fast.outcome, Outcome::Exit(0));
+    assert_eq!(
+        fast.output, "2",
+        "stale decoded slot survived the text store"
+    );
+    assert_eq!(fast, reference, "engines diverged on same-line text store");
 }
 
 #[test]
