@@ -123,19 +123,40 @@ echo "== guard network: fpnetmap baseline + fplint --guardnet schema =="
 # SCCs, min cut) per cell. A mismatch or error column going non-zero
 # means the emitter and the verifier disagree about a checksum constant;
 # any other diff against the baseline means network shape or proof power
-# changed (regenerate with the same command and commit the new baseline).
-# The grid must also be byte-identical whatever the worker count.
+# changed (regenerate with UPDATE_BASELINES=1 ./ci.sh and commit the new
+# baseline). The grid must also be byte-identical whatever the worker
+# count. --refusals writes the per-window non-proven ledger: one row per
+# unproven/mismatch window with its typed reason code. Diffing it against
+# results/refusals_baseline.csv enforces that the refusal count only goes
+# down — a window sliding back from proven shows up as a new ledger row.
 cargo run --quiet --release -p flexprot-cli --bin fpnetmap -- \
-    --jobs 1 --csv "$EXEC_DIR/guardnet.csv" > /dev/null || {
+    --jobs 1 --csv "$EXEC_DIR/guardnet.csv" \
+    --refusals "$EXEC_DIR/refusals.csv" > /dev/null || {
     echo "fpnetmap reported checksum mismatches"; exit 1;
 }
 cargo run --quiet --release -p flexprot-cli --bin fpnetmap -- \
-    --jobs 4 --csv "$EXEC_DIR/guardnet4.csv" > /dev/null
+    --jobs 4 --csv "$EXEC_DIR/guardnet4.csv" \
+    --refusals "$EXEC_DIR/refusals4.csv" > /dev/null
 diff -u "$EXEC_DIR/guardnet.csv" "$EXEC_DIR/guardnet4.csv" || {
     echo "guard-network grid differs between --jobs 1 and --jobs 4"; exit 1;
 }
+diff -u "$EXEC_DIR/refusals.csv" "$EXEC_DIR/refusals4.csv" || {
+    echo "refusal ledger differs between --jobs 1 and --jobs 4"; exit 1;
+}
+if [ "${UPDATE_BASELINES:-0}" = "1" ]; then
+    cp "$EXEC_DIR/guardnet.csv" results/guardnet_baseline.csv
+    cp "$EXEC_DIR/refusals.csv" results/refusals_baseline.csv
+    echo "regenerated results/guardnet_baseline.csv and results/refusals_baseline.csv"
+fi
 diff -u results/guardnet_baseline.csv "$EXEC_DIR/guardnet.csv" || {
     echo "guard network diverged from results/guardnet_baseline.csv"
+    echo "hint: rerun as UPDATE_BASELINES=1 ./ci.sh and commit the regenerated baseline"
+    exit 1
+}
+diff -u results/refusals_baseline.csv "$EXEC_DIR/refusals.csv" || {
+    echo "per-window refusal ledger diverged from results/refusals_baseline.csv"
+    echo "hint: a new row means a window regressed from proven; rerun as"
+    echo "      UPDATE_BASELINES=1 ./ci.sh only for deliberate prover changes"
     exit 1
 }
 # The machine-readable guard-network report keeps its stable schema keys.
@@ -187,5 +208,27 @@ for key in '"schema":"flexprot-equiv-v1"' '"verdict":"proven"' '"stats"' \
     }
 done
 echo "translation validation OK"
+
+echo "== key-flow taint: fplint --taint schema =="
+# The extended lint document carries the taint stats object when --taint
+# is on (the clean smoke build must report zero leaks) and pins it to
+# null when off, so consumers can tell "no leaks" from "not checked".
+cargo run --quiet --release -p flexprot-cli --bin fplint -- \
+    "$OBS_DIR/smoke.prot.fpx" --secmon "$OBS_DIR/smoke.fpm" --taint \
+    --format json > "$OBS_DIR/taint.json"
+for key in '"schema":"flexprot-lint-v1"' '"taint"' '"sources"' \
+           '"tainted_stores":0' '"tainted_syscalls":0' '"key_dependent"' \
+           '"unresolved_reads"'; do
+    grep -q "$key" "$OBS_DIR/taint.json" || {
+        echo "taint-enabled lint document missing $key"; exit 1;
+    }
+done
+cargo run --quiet --release -p flexprot-cli --bin fplint -- \
+    "$OBS_DIR/smoke.prot.fpx" --secmon "$OBS_DIR/smoke.fpm" \
+    --format json > "$OBS_DIR/notaint.json"
+grep -q '"taint":null' "$OBS_DIR/notaint.json" || {
+    echo "lint document without --taint must carry \"taint\":null"; exit 1;
+}
+echo "key-flow taint schema OK"
 
 echo "CI OK"

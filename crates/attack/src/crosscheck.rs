@@ -22,6 +22,7 @@
 use flexprot_core::Protected;
 use flexprot_isa::{Image, Rng64};
 use flexprot_verify::equiv::{self, EquivVerdict};
+use flexprot_verify::RefusalReason;
 
 use crate::oracle::StaticOracle;
 
@@ -58,6 +59,15 @@ pub struct CrossCheckSummary {
     pub inequivalent: u32,
     /// Validator verdict was `Refused`.
     pub refused: u32,
+    /// Refusals carrying [`RefusalReason::StoreWritesMemory`]: the store
+    /// provably writes data memory the baseline never touches.
+    pub refused_store_writes: u32,
+    /// Refusals carrying [`RefusalReason::StoreMayAliasText`]: the store
+    /// may rewrite the text segment, so self-modification cannot be
+    /// excluded.
+    pub refused_may_alias: u32,
+    /// Refusals carrying [`RefusalReason::BranchUndecided`].
+    pub refused_branch: u32,
     /// Oracle predicted detection.
     pub predicted: u32,
     /// [`Agreement::CaughtDamage`] count.
@@ -78,6 +88,9 @@ impl CrossCheckSummary {
         self.trials += other.trials;
         self.inequivalent += other.inequivalent;
         self.refused += other.refused;
+        self.refused_store_writes += other.refused_store_writes;
+        self.refused_may_alias += other.refused_may_alias;
+        self.refused_branch += other.refused_branch;
         self.predicted += other.predicted;
         self.caught_damage += other.caught_damage;
         self.known_gaps += other.known_gaps;
@@ -169,7 +182,14 @@ pub fn cross_check(
         let report = equiv::validate(base, &mutated, &protected.secmon);
         match report.verdict {
             EquivVerdict::Inequivalent { .. } => summary.inequivalent += 1,
-            EquivVerdict::Refused { .. } => summary.refused += 1,
+            EquivVerdict::Refused { reason } => {
+                summary.refused += 1;
+                match reason {
+                    RefusalReason::StoreWritesMemory => summary.refused_store_writes += 1,
+                    RefusalReason::StoreMayAliasText => summary.refused_may_alias += 1,
+                    RefusalReason::BranchUndecided => summary.refused_branch += 1,
+                }
+            }
             EquivVerdict::Proven => {}
         }
         if oracle.predicts(&protected.image, &mutated) {
@@ -222,6 +242,12 @@ loop:   add  $t1, $t1, $t0
         let summary = cross_check(&base, &protected, 64, &mut rng);
         assert_eq!(summary.trials, 64);
         assert_eq!(summary.unexplained, 0, "{summary:?}");
+        // Every refusal carries exactly one typed reason.
+        assert_eq!(
+            summary.refused,
+            summary.refused_store_writes + summary.refused_may_alias + summary.refused_branch,
+            "{summary:?}"
+        );
         // Full coverage leaves the attacker no known gap either.
         assert_eq!(summary.known_gaps, 0, "{summary:?}");
         assert!(summary.inequivalent > 0, "{summary:?}");

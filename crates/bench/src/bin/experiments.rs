@@ -5,7 +5,7 @@
 //!
 //! Options:
 //!   --quick           reduced workloads/trials (CI smoke run)
-//!   --only <ID>       run a single experiment (T1..T6, T9, T10, F1..F6)
+//!   --only <ID>       run a single experiment (T1..T6, T9, T10, T12, T13, F1..F6)
 //!   --jobs <N>        worker threads (default: FLEXPROT_JOBS or CPU count)
 //!   --csv <DIR>       write one CSV per table into DIR (default: results)
 //!   --no-csv          skip CSV output
@@ -108,6 +108,7 @@ fn main() {
         ("T9", flexprot_bench::t9_static_oracle),
         ("T10", flexprot_bench::t10_guardnet),
         ("T12", flexprot_bench::t12_crosscheck),
+        ("T13", flexprot_bench::t13_refusal_reasons),
     ];
 
     let wall = std::time::Instant::now();

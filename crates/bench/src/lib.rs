@@ -21,6 +21,7 @@
 //! | T9 | static-oracle precision/recall vs dynamic detection |
 //! | T10 | guard-network targeted attack vs random baseline |
 //! | T12 | translation validator vs static oracle cross-check |
+//! | T13 | validator refusal attribution by typed reason |
 //!
 //! Every runner takes a shared [`Engine`]: its grid cells fan out over the
 //! engine's worker pool, compiled images / profiled baselines / protected
@@ -940,6 +941,66 @@ pub fn t12_crosscheck(params: &Params, engine: &Engine) -> Table {
     table
 }
 
+/// T13 — validator refusal attribution by typed reason.
+///
+/// Re-scores the T12 mutation campaign through the refusal lens: every
+/// `Refused` verdict the memory-sensitive validator still returns is
+/// attributed to exactly one stable [`flexprot_verify::RefusalReason`]
+/// code, so the table proves there are no unexplained refusals left —
+/// `refused` must equal the sum of the three reason columns in every row
+/// (the `unattributed` column pins that difference at zero). The `proven`
+/// column counts mutations the sharper domain proves outright
+/// (semantically transparent edits, e.g. resigned guard words), which is
+/// the precision the alias analysis buys: under the store-blind domain
+/// these were blanket refusals.
+pub fn t13_refusal_reasons(params: &Params, engine: &Engine) -> Table {
+    let mut table = Table::new(
+        "T13",
+        "Validator refusal attribution by typed reason",
+        &[
+            "config",
+            "workload",
+            "trials",
+            "proven",
+            "inequivalent",
+            "refused",
+            "store_writes_memory",
+            "store_may_alias_text",
+            "branch_undecided",
+            "unattributed",
+        ],
+    );
+    let trials = params.trials() * 4;
+    let mut jobs = Vec::new();
+    for (config_name, config) in t3_configs() {
+        for &w in &params.attack_workloads() {
+            jobs.push((config_name, w, config.clone()));
+        }
+    }
+    let summaries = engine.run_jobs(&jobs, |_ctx, (_, w, config)| {
+        let base = w.image();
+        let protected = flexprot_core::protect(&base, config, None).expect("protect");
+        let mut rng = flexprot_isa::Rng64::new(0xC405_5EED);
+        flexprot_attack::cross_check(&base, &protected, trials, &mut rng)
+    });
+    for ((config_name, w, _), s) in jobs.iter().zip(&summaries) {
+        let attributed = s.refused_store_writes + s.refused_may_alias + s.refused_branch;
+        table.push(vec![
+            (*config_name).to_owned(),
+            w.name.to_owned(),
+            s.trials.to_string(),
+            (s.trials - s.inequivalent - s.refused).to_string(),
+            s.inequivalent.to_string(),
+            s.refused.to_string(),
+            s.refused_store_writes.to_string(),
+            s.refused_may_alias.to_string(),
+            s.refused_branch.to_string(),
+            (s.refused - attributed).to_string(),
+        ]);
+    }
+    table
+}
+
 /// Runs every experiment in order over a shared engine (artifacts built by
 /// one experiment are reused by the next).
 pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
@@ -959,6 +1020,7 @@ pub fn run_all(params: &Params, engine: &Engine) -> Vec<Table> {
         t9_static_oracle(params, engine),
         t10_guardnet(params, engine),
         t12_crosscheck(params, engine),
+        t13_refusal_reasons(params, engine),
     ]
 }
 
@@ -1084,6 +1146,23 @@ mod tests {
         // guarded+encrypted config leaves none.
         let strong = t.rows.iter().find(|r| r[0] == "guards+enc").unwrap();
         assert_eq!(strong[7], "0", "{t}");
+    }
+
+    #[test]
+    fn t13_attributes_every_refusal_to_a_typed_reason() {
+        let t = t13_refusal_reasons(&QUICK, &engine());
+        assert_eq!(t.rows.len(), 4, "{t}");
+        for row in &t.rows {
+            // Verdicts are conserved: proven + inequivalent + refused.
+            let trials: u32 = row[2].parse().unwrap();
+            let verdicts: u32 = row[3..=5].iter().map(|c| c.parse::<u32>().unwrap()).sum();
+            assert_eq!(trials, verdicts, "{t}");
+            // The acceptance criterion: zero unattributed refusals.
+            assert_eq!(row[9], "0", "{t}");
+            let refused: u32 = row[5].parse().unwrap();
+            let reasons: u32 = row[6..=8].iter().map(|c| c.parse::<u32>().unwrap()).sum();
+            assert_eq!(refused, reasons, "{t}");
+        }
     }
 
     #[test]

@@ -50,6 +50,30 @@ fn load_image(path: &str) -> Result<Image, CliError> {
     Image::from_bytes(&read(path)?).map_err(|e| CliError(format!("{path}: {e}")))
 }
 
+/// RFC-4180 escaping for one CSV field: a value containing a comma, a
+/// double quote or a newline is quoted, with embedded quotes doubled.
+/// Plain values (the overwhelming majority) pass through unchanged, so
+/// existing baselines keep their bytes.
+pub(crate) fn csv_field(value: &str) -> String {
+    if value.contains([',', '"', '\n']) {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_owned()
+    }
+}
+
+/// Joins one row with [`csv_field`] escaping applied to every cell.
+pub(crate) fn csv_row(cells: &[String]) -> String {
+    let mut line = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push_str(&csv_field(cell));
+    }
+    line
+}
+
 /// The shared option block of every batch driver (`fprun`'s multi-image
 /// mode, `fpsurface`, `fpsweep`, `fpnetmap`): worker count plus the CSV
 /// and metrics export paths. Parsing it in one place keeps `--jobs`
@@ -541,7 +565,7 @@ pub struct LintSummary {
 }
 
 /// `fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] [--allow L,..]
-/// [--format human|csv|json] [--csv] [--surface] [--guardnet]
+/// [--format human|csv|json] [--csv] [--taint] [--surface] [--guardnet]
 /// [--equiv <baseline.fpx>] [--lints]`.
 ///
 /// Statically verifies the protection contract of an image against its
@@ -549,7 +573,9 @@ pub struct LintSummary {
 /// omitted). `--deny`/`--allow` take comma-separated lint IDs or names;
 /// `--format` selects the report rendering (`--csv` is a shorthand for
 /// `--format csv`; `json` emits the stable `flexprot-lint-v1` document);
-/// `--surface` prints the static tamper-surface map
+/// `--taint` additionally runs the key-flow taint analysis (FP901–FP904
+/// findings; the JSON document's `stats.taint` object carries the run
+/// counters); `--surface` prints the static tamper-surface map
 /// (`flexprot-surface-v1` JSON) and `--guardnet` the guard network with
 /// its checksum proofs (`flexprot-guardnet-v1` JSON) instead of the lint
 /// report; `--equiv <baseline.fpx>` runs the translation validator
@@ -572,7 +598,7 @@ pub struct LintSummary {
 /// Reports I/O, format and policy failures. Findings are reported in the
 /// summary, not as errors.
 pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
-    use flexprot_verify::{analyze, lint_by_id, LintPolicy, LINTS};
+    use flexprot_verify::{analyze_with_options, lint_by_id, LintPolicy, LINTS};
 
     let args = parse(raw_args, &["secmon", "deny", "allow", "format", "equiv"])?;
     if args.has("lints") {
@@ -594,8 +620,8 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
     let [input] = args.positional.as_slice() else {
         return Err(CliError(
             "usage: fplint <image.fpx> [--secmon <cfg.fpm>] [--deny L,..] \
-             [--allow L,..] [--format human|csv|json] [--csv] [--surface] \
-             [--guardnet] [--equiv <baseline.fpx>] [--lints]"
+             [--allow L,..] [--format human|csv|json] [--csv] [--taint] \
+             [--surface] [--guardnet] [--equiv <baseline.fpx>] [--lints]"
                 .to_owned(),
         ));
     };
@@ -640,7 +666,7 @@ pub fn fplint(raw_args: &[String]) -> Result<LintSummary, CliError> {
             exit_code: i32::from(!equiv.is_clean()),
         });
     }
-    let verification = analyze(&image, &config, &policy);
+    let verification = analyze_with_options(&image, &config, &policy, args.has("taint"));
     let report = if args.has("guardnet") {
         verification.guardnet_json()
     } else if args.has("surface") {
@@ -732,7 +758,7 @@ pub fn fpsurface(raw_args: &[String]) -> Result<LintSummary, CliError> {
     for result in results {
         let row = result?;
         errors += row[8].parse::<usize>().unwrap_or(0);
-        csv.push_str(&row.join(","));
+        csv.push_str(&csv_row(&row));
         csv.push('\n');
     }
     batch.write_csv(&csv)?;
@@ -833,8 +859,8 @@ fn matrix_jobs(
 }
 
 /// `fpnetmap [--programs a,b,..] [--jobs N] [--csv <out.csv>]
-/// [--metrics <out.json>]` — tabulate the guard network and checksum
-/// proofs of every protection-matrix cell.
+/// [--refusals <out.csv>] [--metrics <out.json>]` — tabulate the guard
+/// network and checksum proofs of every protection-matrix cell.
 ///
 /// Each cell protects the program, builds the who-checks-whom guard
 /// digraph and the abstract-interpretation checksum proofs
@@ -846,19 +872,26 @@ fn matrix_jobs(
 /// count. The suggested exit code is 1 when any cell has an
 /// error-severity finding (a `mismatch` implies one via FP703).
 ///
+/// `--refusals` writes the per-window refusal ledger alongside: one
+/// `program,cell,site,verdict,code` row per guard window the prover
+/// could *not* prove, keyed by the stable
+/// [`flexprot_verify::UnprovenReason`] codes. CI pins this file as
+/// `results/refusals_baseline.csv`, so any precision regression (a
+/// window sliding back from proven) shows up as a new row in the diff.
+///
 /// # Errors
 ///
 /// Reports unknown program names, compilation and I/O failures.
 pub fn fpnetmap(raw_args: &[String]) -> Result<LintSummary, CliError> {
     use flexprot_verify::{LintPolicy, Severity, Verdict};
 
-    let mut valued = vec!["programs"];
+    let mut valued = vec!["programs", "refusals"];
     valued.extend(BatchOpts::VALUED);
     let args = parse(raw_args, &valued)?;
     if !args.positional.is_empty() {
         return Err(CliError(
             "usage: fpnetmap [--programs a,b,..] [--jobs N] [--csv <out.csv>] \
-             [--metrics <out.json>]"
+             [--refusals <out.csv>] [--metrics <out.json>]"
                 .to_owned(),
         ));
     }
@@ -874,18 +907,37 @@ pub fn fpnetmap(raw_args: &[String]) -> Result<LintSummary, CliError> {
         let mut proven = 0usize;
         let mut mismatch = 0usize;
         let mut unproven = 0usize;
+        let mut unproven_rows: Vec<Vec<String>> = Vec::new();
         for proof in &v.proofs {
-            match proof.verdict {
+            match &proof.verdict {
                 Verdict::Proven { .. } => proven += 1,
-                Verdict::Mismatch { .. } => mismatch += 1,
-                Verdict::Unproven { .. } => unproven += 1,
+                Verdict::Mismatch { .. } => {
+                    mismatch += 1;
+                    unproven_rows.push(vec![
+                        name.clone(),
+                        cell.clone(),
+                        format!("{:#010x}", proof.site_addr),
+                        "mismatch".to_owned(),
+                        "signature_mismatch".to_owned(),
+                    ]);
+                }
+                Verdict::Unproven { reason } => {
+                    unproven += 1;
+                    unproven_rows.push(vec![
+                        name.clone(),
+                        cell.clone(),
+                        format!("{:#010x}", proof.site_addr),
+                        "unproven".to_owned(),
+                        reason.code().to_owned(),
+                    ]);
+                }
             }
         }
         let min_cut = match &net.min_cut {
             None => "none".to_owned(),
             Some(cut) => cut.len().to_string(),
         };
-        Ok::<_, CliError>(vec![
+        let row = vec![
             name.clone(),
             cell.clone(),
             net.nodes.len().to_string(),
@@ -904,7 +956,8 @@ pub fn fpnetmap(raw_args: &[String]) -> Result<LintSummary, CliError> {
             mismatch.to_string(),
             unproven.to_string(),
             v.report.count(Severity::Error).to_string(),
-        ])
+        ];
+        Ok::<_, CliError>((row, unproven_rows))
     });
 
     let header = [
@@ -925,14 +978,22 @@ pub fn fpnetmap(raw_args: &[String]) -> Result<LintSummary, CliError> {
     ];
     let mut csv = header.join(",");
     csv.push('\n');
+    let mut refusals = String::from("program,cell,site,verdict,code\n");
     let mut errors = 0usize;
     for result in results {
-        let row = result?;
+        let (row, unproven_rows) = result?;
         errors += row[13].parse::<usize>().unwrap_or(0);
-        csv.push_str(&row.join(","));
+        csv.push_str(&csv_row(&row));
         csv.push('\n');
+        for r in &unproven_rows {
+            refusals.push_str(&csv_row(r));
+            refusals.push('\n');
+        }
     }
     batch.write_csv(&csv)?;
+    if let Some(path) = args.value("refusals") {
+        write(path, refusals.as_bytes())?;
+    }
     batch.write_metrics(&engine)?;
     Ok(LintSummary {
         report: csv,
@@ -950,10 +1011,12 @@ pub fn fpnetmap(raw_args: &[String]) -> Result<LintSummary, CliError> {
 /// (no live architectural state written), and cipher round-trip
 /// identity. One CSV row per cell carries the three-valued verdict
 /// (`proven` / `inequivalent` / `refused`), the witness address when one
-/// exists, the alignment and window tallies, and the FP801–FP804 finding
-/// counts. Cells fan out over `--jobs` workers through the batched
-/// execution engine and the rows are identical whatever the worker
-/// count.
+/// exists, the alignment and window tallies, the per-window refusal
+/// reasons as a `code:count` tally keyed by the stable
+/// [`flexprot_verify::RefusalReason`] codes (`none` when every window is
+/// proven), and the FP801–FP804 finding counts. Cells fan out over
+/// `--jobs` workers through the batched execution engine and the rows
+/// are identical whatever the worker count.
 ///
 /// # Exit codes
 ///
@@ -994,6 +1057,20 @@ pub fn fpequiv(raw_args: &[String]) -> Result<LintSummary, CliError> {
             .iter()
             .filter(|f| f.severity == Severity::Error)
             .count();
+        let mut by_code: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for (_, reason) in &report.refusals {
+            *by_code.entry(reason.code()).or_default() += 1;
+        }
+        let refusal_codes = if by_code.is_empty() {
+            "none".to_owned()
+        } else {
+            by_code
+                .iter()
+                .map(|(code, count)| format!("{code}:{count}"))
+                .collect::<Vec<_>>()
+                .join(";")
+        };
         Ok::<_, CliError>(vec![
             name.clone(),
             cell.clone(),
@@ -1005,6 +1082,7 @@ pub fn fpequiv(raw_args: &[String]) -> Result<LintSummary, CliError> {
             report.stats.aligned_words.to_string(),
             report.stats.windows_proven.to_string(),
             report.stats.windows_refused.to_string(),
+            refusal_codes,
             report.stats.cipher_regions.to_string(),
             report.stats.cipher_words.to_string(),
             report.count_id("FP801").to_string(),
@@ -1026,6 +1104,7 @@ pub fn fpequiv(raw_args: &[String]) -> Result<LintSummary, CliError> {
         "aligned",
         "windows_proven",
         "windows_refused",
+        "refusal_codes",
         "cipher_regions",
         "cipher_words",
         "fp801",
@@ -1039,8 +1118,8 @@ pub fn fpequiv(raw_args: &[String]) -> Result<LintSummary, CliError> {
     let mut errors = 0usize;
     for result in results {
         let row = result?;
-        errors += row[16].parse::<usize>().unwrap_or(0);
-        csv.push_str(&row.join(","));
+        errors += row[17].parse::<usize>().unwrap_or(0);
+        csv.push_str(&csv_row(&row));
         csv.push('\n');
     }
     batch.write_csv(&csv)?;
@@ -1619,6 +1698,140 @@ mod tests {
     }
 
     #[test]
+    fn csv_fields_with_commas_and_quotes_are_escaped() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_row(&["a".to_owned(), "b,c".to_owned()]), "a,\"b,c\"");
+    }
+
+    #[test]
+    fn fplint_csv_format_follows_the_exit_code_contract() {
+        let src = write_sample_source("lintcsv.s");
+        let fpx = tmp("lintcsv.fpx");
+        let prot = tmp("lintcsv.prot.fpx");
+        let fpm = tmp("lintcsv.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--density",
+            "1.0",
+        ]))
+        .unwrap();
+
+        // Exit 0: a clean image under --format csv, not just human.
+        let clean = fplint(&strs(&[&prot, "--secmon", &fpm, "--format", "csv"])).unwrap();
+        assert_eq!(clean.exit_code, 0, "{}", clean.report);
+        assert!(
+            clean.report.starts_with("id,name,severity,addr,message"),
+            "{}",
+            clean.report
+        );
+
+        // Exit 1: tampering flips the CSV verdict exactly like the human
+        // format.
+        let mut image = Image::from_bytes(&std::fs::read(&prot).unwrap()).unwrap();
+        image.text[0] ^= 1 << 22;
+        let bad = tmp("lintcsv.bad.fpx");
+        std::fs::write(&bad, image.to_bytes()).unwrap();
+        let dirty = fplint(&strs(&[&bad, "--secmon", &fpm, "--format", "csv"])).unwrap();
+        assert_eq!(dirty.exit_code, 1, "{}", dirty.report);
+
+        // Exit 2 (CliError from the binary): usage and I/O errors are
+        // Errs under every format.
+        assert!(fplint(&strs(&["--format", "csv"])).is_err());
+        assert!(fplint(&strs(&["/nonexistent.fpx", "--format", "csv"])).is_err());
+    }
+
+    #[test]
+    fn fplint_taint_extends_the_json_stats() {
+        use flexprot_trace::json;
+
+        let src = write_sample_source("linttaint.s");
+        let fpx = tmp("linttaint.fpx");
+        let prot = tmp("linttaint.prot.fpx");
+        let fpm = tmp("linttaint.fpm");
+        fpasm(&strs(&[&src, "--o", &fpx])).unwrap();
+        fpprotect(&strs(&[
+            &fpx,
+            "--o",
+            &prot,
+            "--secmon",
+            &fpm,
+            "--encrypt",
+            "program",
+        ]))
+        .unwrap();
+
+        // Without --taint the stats advertise the analysis did not run.
+        let plain = fplint(&strs(&[&prot, "--secmon", &fpm, "--format", "json"])).unwrap();
+        assert!(plain.report.contains("\"taint\":null"), "{}", plain.report);
+
+        // With --taint the flexprot-lint-v1 stats gain the counter block.
+        let tainted = fplint(&strs(&[
+            &prot, "--secmon", &fpm, "--taint", "--format", "json",
+        ]))
+        .unwrap();
+        assert_eq!(tainted.exit_code, 0, "{}", tainted.report);
+        let doc = json::parse(&tainted.report).expect("lint report is JSON");
+        let taint = doc
+            .get("stats")
+            .and_then(|s| s.get("taint"))
+            .expect("stats.taint object");
+        for key in [
+            "sources",
+            "tainted_stores",
+            "tainted_syscalls",
+            "key_dependent",
+            "unresolved_reads",
+        ] {
+            assert!(taint.get(key).is_some(), "{}", tainted.report);
+        }
+    }
+
+    #[test]
+    fn fpnetmap_writes_the_per_window_refusal_ledger() {
+        let refusals = tmp("netmap.refusals.csv");
+        let run = fpnetmap(&strs(&[
+            "--programs",
+            "collatz,rle",
+            "--jobs",
+            "2",
+            "--refusals",
+            &refusals,
+        ]))
+        .unwrap();
+        assert_eq!(run.exit_code, 0, "{}", run.report);
+        let ledger = std::fs::read_to_string(&refusals).unwrap();
+        let lines: Vec<&str> = ledger.lines().collect();
+        assert_eq!(lines[0], "program,cell,site,verdict,code");
+        // Every non-proven window carries a stable snake_case code and a
+        // concrete site address; clean builds never report a mismatch.
+        for line in &lines[1..] {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 5, "{line}");
+            assert!(cols[2].starts_with("0x"), "{line}");
+            assert_eq!(cols[3], "unproven", "{line}");
+            assert!(
+                !cols[4].is_empty() && cols[4].chars().all(|c| c == '_' || c.is_ascii_lowercase()),
+                "{line}"
+            );
+        }
+        // The ledger row count is exactly the grid's unproven tally.
+        let unproven: usize = run
+            .report
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(12).unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(lines.len() - 1, unproven, "{ledger}\n{}", run.report);
+    }
+
+    #[test]
     fn batch_drivers_reject_zero_jobs() {
         for err in [
             fpsurface(&strs(&["--jobs", "0"])).unwrap_err(),
@@ -1674,20 +1887,21 @@ mod tests {
         assert_eq!(
             lines[0],
             "program,cell,verdict,witness,base_words,prot_words,guard_words,aligned,\
-             windows_proven,windows_refused,cipher_regions,cipher_words,\
+             windows_proven,windows_refused,refusal_codes,cipher_regions,cipher_words,\
              fp801,fp802,fp803,fp804,errors"
         );
         // 2 programs x 7 cells, plus the header.
         assert_eq!(lines.len(), 15, "{}", serial.report);
         for line in &lines[1..] {
             let cols: Vec<&str> = line.split(',').collect();
-            assert_eq!(cols.len(), 17, "{line}");
+            assert_eq!(cols.len(), 18, "{line}");
             // Untampered pipeline output is fully proven: no witnesses,
-            // no refusals, no FP8xx findings.
+            // no refusals (so no refusal codes), no FP8xx findings.
             assert_eq!(cols[2], "proven", "{line}");
             assert_eq!(cols[3], "none", "{line}");
             assert_eq!(cols[9], "0", "{line}");
-            assert_eq!(cols[16], "0", "{line}");
+            assert_eq!(cols[10], "none", "{line}");
+            assert_eq!(cols[17], "0", "{line}");
             // Guard cells insert words; alignment still covers every
             // baseline word.
             let base: usize = cols[4].parse().unwrap();
@@ -1697,7 +1911,7 @@ mod tests {
                 assert!(cols[6].parse::<usize>().unwrap() > 0, "{line}");
             }
             if cols[1].starts_with("enc") || cols[1] == "guards-enc" {
-                assert!(cols[11].parse::<usize>().unwrap() > 0, "{line}");
+                assert!(cols[12].parse::<usize>().unwrap() > 0, "{line}");
             }
         }
 
@@ -1929,7 +2143,7 @@ pub fn fpsweep(raw_args: &[String]) -> Result<String, CliError> {
     if batch.csv.is_some() {
         let mut csv = String::new();
         for row in &rows {
-            csv.push_str(&row.join(","));
+            csv.push_str(&csv_row(row));
             csv.push('\n');
         }
         batch.write_csv(&csv)?;

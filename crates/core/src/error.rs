@@ -25,6 +25,17 @@ pub enum ProtectError {
         /// The first finding, preformatted for display.
         first: String,
     },
+    /// The key-flow taint analysis found key-derived data escaping to an
+    /// observable sink — an FP901/FP902 error-severity finding (mandatory
+    /// self-check requested via `ProtectionConfig::with_key_flow_check`).
+    KeyFlowLeak {
+        /// Error-severity FP9xx findings.
+        errors: usize,
+        /// Witness address of the first leak, if the analysis has one.
+        witness: Option<u32>,
+        /// The first finding, preformatted for display.
+        first: String,
+    },
     /// The translation validator could not prove the protected image
     /// semantically equivalent to its baseline (mandatory self-check
     /// requested via `ProtectionConfig::with_translation_validation`).
@@ -68,6 +79,17 @@ impl fmt::Display for ProtectError {
                     f,
                     "post-protection verification failed with {errors} error(s); first: {first}"
                 )
+            }
+            ProtectError::KeyFlowLeak {
+                errors,
+                witness,
+                ref first,
+            } => {
+                write!(f, "key-flow check failed with {errors} leak(s)")?;
+                if let Some(addr) = witness {
+                    write!(f, " (witness {addr:#010x})")?;
+                }
+                write!(f, "; first: {first}")
             }
             ProtectError::TranslationUnproven {
                 verdict,

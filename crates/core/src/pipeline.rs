@@ -34,6 +34,11 @@ pub struct ProtectionConfig {
     /// *proven* semantically equivalent to the baseline (default false —
     /// the lighter invariant verification always runs).
     pub validate_translation: bool,
+    /// Run the key-flow taint analysis (`flexprot-verify`'s `taint`) as a
+    /// mandatory post-condition: refuse to ship when key-derived data
+    /// provably escapes to an observable sink (FP901/FP902; default
+    /// false).
+    pub key_flow_check: bool,
 }
 
 impl ProtectionConfig {
@@ -45,6 +50,7 @@ impl ProtectionConfig {
             watermark: None,
             halt_on_tamper: true,
             validate_translation: false,
+            key_flow_check: false,
         }
     }
 
@@ -72,6 +78,16 @@ impl ProtectionConfig {
     /// the protected image is *proven* equivalent to the baseline.
     pub fn with_translation_validation(mut self) -> ProtectionConfig {
         self.validate_translation = true;
+        self
+    }
+
+    /// Makes the key-flow taint analysis a mandatory post-condition:
+    /// [`protect`] fails with [`ProtectError::KeyFlowLeak`] when key-derived
+    /// data (a ciphertext read) provably reaches an observable sink —
+    /// a store outside every encrypted region (FP901) or a syscall operand
+    /// (FP902).
+    pub fn with_key_flow_check(mut self) -> ProtectionConfig {
+        self.key_flow_check = true;
         self
     }
 
@@ -348,6 +364,35 @@ pub fn protect_traced(
         return Err(ProtectError::VerificationFailed { errors, first });
     }
 
+    // Optional key-flow post-condition: forward taint from the cipher-key
+    // material (every in-region ciphertext read) must not reach an
+    // observable sink. A leak here means the protected program itself
+    // re-publishes what the encryption layer was meant to hide.
+    if config.key_flow_check {
+        let v = flexprot_verify::analyze_with_options(
+            &protected.image,
+            &protected.secmon,
+            &flexprot_verify::LintPolicy::default(),
+            true,
+        );
+        let leaks: Vec<&flexprot_verify::Finding> = v
+            .report
+            .findings
+            .iter()
+            .filter(|f| {
+                f.severity == flexprot_verify::Severity::Error
+                    && (f.id == "FP901" || f.id == "FP902")
+            })
+            .collect();
+        if let Some(first) = leaks.first() {
+            return Err(ProtectError::KeyFlowLeak {
+                errors: leaks.len(),
+                witness: first.addr,
+                first: first.to_string(),
+            });
+        }
+    }
+
     // Optional stronger self-check: translation validation proves the
     // transform semantics-preserving (guard windows architecturally inert,
     // ciphertext round-trips to the baseline stream), not merely that the
@@ -372,7 +417,7 @@ pub fn protect_traced(
                 return Err(ProtectError::TranslationUnproven {
                     verdict: "refused",
                     witness: None,
-                    first: reason,
+                    first: reason.to_string(),
                 });
             }
         }

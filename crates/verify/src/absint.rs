@@ -168,73 +168,73 @@ fn entry_state() -> Vec<AbsVal> {
     regs
 }
 
-impl RegAbs<'_> {
-    /// The register (if any) the instruction writes, and its abstract
-    /// value, mirroring the simulator's concrete semantics.
-    fn eval(&self, addr: u32, inst: Inst, regs: &[AbsVal]) -> Option<(Reg, AbsVal)> {
-        use Inst::*;
-        let r = |reg: Reg| &regs[reg.index() as usize];
-        Some(match inst {
-            Sll { rd, rt, sh } => (rd, r(rt).map(|x| x << sh)),
-            Srl { rd, rt, sh } => (rd, r(rt).map(|x| x >> sh)),
-            Sra { rd, rt, sh } => (rd, r(rt).map(|x| ((x as i32) >> sh) as u32)),
-            Sllv { rd, rt, rs } => (rd, r(rt).map2(r(rs), |x, s| x << (s & 31))),
-            Srlv { rd, rt, rs } => (rd, r(rt).map2(r(rs), |x, s| x >> (s & 31))),
-            Srav { rd, rt, rs } => (
-                rd,
-                r(rt).map2(r(rs), |x, s| ((x as i32) >> (s & 31)) as u32),
-            ),
-            Jalr { rd, .. } => (rd, AbsVal::Const(addr.wrapping_add(4))),
-            Jal { .. } => (Reg::RA, AbsVal::Const(addr.wrapping_add(4))),
-            Mul { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_mul)),
-            Div { rd, rs, rt } => (
-                rd,
-                r(rs).map2(r(rt), |a, b| {
-                    if b == 0 {
-                        0
-                    } else {
-                        (a as i32).wrapping_div(b as i32) as u32
-                    }
-                }),
-            ),
-            Rem { rd, rs, rt } => (
-                rd,
-                r(rs).map2(r(rt), |a, b| {
-                    if b == 0 {
-                        0
-                    } else {
-                        (a as i32).wrapping_rem(b as i32) as u32
-                    }
-                }),
-            ),
-            Add { rd, rs, rt } | Addu { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_add)),
-            Sub { rd, rs, rt } | Subu { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_sub)),
-            And { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a & b)),
-            Or { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a | b)),
-            Xor { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a ^ b)),
-            Nor { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| !(a | b))),
-            Slt { rd, rs, rt } => (
-                rd,
-                r(rs).map2(r(rt), |a, b| u32::from((a as i32) < (b as i32))),
-            ),
-            Sltu { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| u32::from(a < b))),
-            Addi { rt, rs, imm } => (rt, r(rs).map(|x| x.wrapping_add(imm as i32 as u32))),
-            Slti { rt, rs, imm } => (rt, r(rs).map(|x| u32::from((x as i32) < i32::from(imm)))),
-            Sltiu { rt, rs, imm } => (rt, r(rs).map(|x| u32::from(x < (imm as i32 as u32)))),
-            Andi { rt, rs, imm } => (rt, r(rs).map(|x| x & u32::from(imm))),
-            Ori { rt, rs, imm } => (rt, r(rs).map(|x| x | u32::from(imm))),
-            Xori { rt, rs, imm } => (rt, r(rs).map(|x| x ^ u32::from(imm))),
-            Lui { rt, imm } => (rt, AbsVal::Const(u32::from(imm) << 16)),
-            Lb { rt, .. } | Lh { rt, .. } | Lw { rt, .. } | Lbu { rt, .. } | Lhu { rt, .. } => {
-                (rt, AbsVal::Top)
-            }
-            Jr { .. } | Syscall | Break | J { .. } => return None,
-            Sb { .. } | Sh { .. } | Sw { .. } => return None,
-            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. } => {
-                return None
-            }
-        })
-    }
+/// The register (if any) `inst` writes, and its abstract value, mirroring
+/// the simulator's concrete semantics over plain (pointer-blind) scalars.
+/// Shared by the register analysis here and the memory-sensitive domain in
+/// [`crate::memdom`], which layers pointer provenance on top.
+pub(crate) fn scalar_eval(addr: u32, inst: Inst, regs: &[AbsVal]) -> Option<(Reg, AbsVal)> {
+    use Inst::*;
+    let r = |reg: Reg| &regs[reg.index() as usize];
+    Some(match inst {
+        Sll { rd, rt, sh } => (rd, r(rt).map(|x| x << sh)),
+        Srl { rd, rt, sh } => (rd, r(rt).map(|x| x >> sh)),
+        Sra { rd, rt, sh } => (rd, r(rt).map(|x| ((x as i32) >> sh) as u32)),
+        Sllv { rd, rt, rs } => (rd, r(rt).map2(r(rs), |x, s| x << (s & 31))),
+        Srlv { rd, rt, rs } => (rd, r(rt).map2(r(rs), |x, s| x >> (s & 31))),
+        Srav { rd, rt, rs } => (
+            rd,
+            r(rt).map2(r(rs), |x, s| ((x as i32) >> (s & 31)) as u32),
+        ),
+        Jalr { rd, .. } => (rd, AbsVal::Const(addr.wrapping_add(4))),
+        Jal { .. } => (Reg::RA, AbsVal::Const(addr.wrapping_add(4))),
+        Mul { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_mul)),
+        Div { rd, rs, rt } => (
+            rd,
+            r(rs).map2(r(rt), |a, b| {
+                if b == 0 {
+                    0
+                } else {
+                    (a as i32).wrapping_div(b as i32) as u32
+                }
+            }),
+        ),
+        Rem { rd, rs, rt } => (
+            rd,
+            r(rs).map2(r(rt), |a, b| {
+                if b == 0 {
+                    0
+                } else {
+                    (a as i32).wrapping_rem(b as i32) as u32
+                }
+            }),
+        ),
+        Add { rd, rs, rt } | Addu { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_add)),
+        Sub { rd, rs, rt } | Subu { rd, rs, rt } => (rd, r(rs).map2(r(rt), u32::wrapping_sub)),
+        And { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a & b)),
+        Or { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a | b)),
+        Xor { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| a ^ b)),
+        Nor { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| !(a | b))),
+        Slt { rd, rs, rt } => (
+            rd,
+            r(rs).map2(r(rt), |a, b| u32::from((a as i32) < (b as i32))),
+        ),
+        Sltu { rd, rs, rt } => (rd, r(rs).map2(r(rt), |a, b| u32::from(a < b))),
+        Addi { rt, rs, imm } => (rt, r(rs).map(|x| x.wrapping_add(imm as i32 as u32))),
+        Slti { rt, rs, imm } => (rt, r(rs).map(|x| u32::from((x as i32) < i32::from(imm)))),
+        Sltiu { rt, rs, imm } => (rt, r(rs).map(|x| u32::from(x < (imm as i32 as u32)))),
+        Andi { rt, rs, imm } => (rt, r(rs).map(|x| x & u32::from(imm))),
+        Ori { rt, rs, imm } => (rt, r(rs).map(|x| x | u32::from(imm))),
+        Xori { rt, rs, imm } => (rt, r(rs).map(|x| x ^ u32::from(imm))),
+        Lui { rt, imm } => (rt, AbsVal::Const(u32::from(imm) << 16)),
+        Lb { rt, .. } | Lh { rt, .. } | Lw { rt, .. } | Lbu { rt, .. } | Lhu { rt, .. } => {
+            (rt, AbsVal::Top)
+        }
+        Jr { .. } | Syscall | Break | J { .. } => return None,
+        Sb { .. } | Sh { .. } | Sw { .. } => return None,
+        Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. } => {
+            return None
+        }
+    })
 }
 
 impl Analysis for RegAbs<'_> {
@@ -257,7 +257,7 @@ impl Analysis for RegAbs<'_> {
         let mut regs = regs.clone();
         if let Some(inst) = self.flow.decoded[node] {
             let addr = self.text_base.wrapping_add(4 * node as u32);
-            if let Some((rd, val)) = self.eval(addr, inst, &regs) {
+            if let Some((rd, val)) = scalar_eval(addr, inst, &regs) {
                 if rd != Reg::ZERO {
                     regs[rd.index() as usize] = val;
                 }
@@ -352,6 +352,85 @@ impl AbsHasher {
     }
 }
 
+/// Why a checksum proof could not conclude, as a stable typed code.
+///
+/// Baselines and CSV sweeps key on [`UnprovenReason::code`] (snake_case,
+/// stable across releases); the `Display` impl carries the human prose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnprovenReason {
+    /// The window failed structural verification upstream.
+    NotStructural,
+    /// The window extends past the end of the text segment.
+    OutOfBounds,
+    /// An in-window store may overlap the hashed interval.
+    StoreMayAliasWindow {
+        /// Address of the store instruction.
+        store_addr: u32,
+    },
+    /// An in-window store provably rewrites the hashed interval, so the
+    /// static valuation cannot be ordered against the hash.
+    StoreClobbersWindow {
+        /// Address of the store instruction.
+        store_addr: u32,
+        /// A concrete target address inside the window.
+        target_addr: u32,
+    },
+    /// No feasible valuation reaches the window (dead code).
+    NoFeasibleValuation,
+    /// The valuation forked past the value-set budget ([`MAX_SET`]).
+    ValuationBudget,
+    /// Several feasible digests exist and one matches the signature.
+    AmbiguousDigest,
+}
+
+impl UnprovenReason {
+    /// The stable snake_case code baselines diff on.
+    pub fn code(&self) -> &'static str {
+        match self {
+            UnprovenReason::NotStructural => "not_structural",
+            UnprovenReason::OutOfBounds => "window_out_of_bounds",
+            UnprovenReason::StoreMayAliasWindow { .. } => "store_may_alias_window",
+            UnprovenReason::StoreClobbersWindow { .. } => "store_clobbers_window",
+            UnprovenReason::NoFeasibleValuation => "no_feasible_valuation",
+            UnprovenReason::ValuationBudget => "valuation_budget_exceeded",
+            UnprovenReason::AmbiguousDigest => "ambiguous_digest",
+        }
+    }
+}
+
+impl std::fmt::Display for UnprovenReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnprovenReason::NotStructural => write!(f, "window failed structural verification"),
+            UnprovenReason::OutOfBounds => write!(f, "window extends past the end of text"),
+            UnprovenReason::StoreMayAliasWindow { store_addr } => {
+                write!(
+                    f,
+                    "store at {store_addr:#010x} may target the hashed window"
+                )
+            }
+            UnprovenReason::StoreClobbersWindow {
+                store_addr,
+                target_addr,
+            } => write!(
+                f,
+                "store at {store_addr:#010x} provably rewrites the hashed window \
+                 at {target_addr:#010x}"
+            ),
+            UnprovenReason::NoFeasibleValuation => write!(f, "window has no feasible valuation"),
+            UnprovenReason::ValuationBudget => {
+                write!(
+                    f,
+                    "window valuation exceeds the value-set budget ({MAX_SET})"
+                )
+            }
+            UnprovenReason::AmbiguousDigest => {
+                write!(f, "digest is ambiguous over the value set")
+            }
+        }
+    }
+}
+
 /// The outcome of one guard's checksum proof.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Verdict {
@@ -373,7 +452,7 @@ pub enum Verdict {
     /// The proof ran out of precision or preconditions; not an error.
     Unproven {
         /// Why the proof could not conclude.
-        reason: String,
+        reason: UnprovenReason,
     },
 }
 
@@ -386,33 +465,22 @@ pub struct GuardProof {
     pub verdict: Verdict,
 }
 
-/// Whether a store of `size` bytes at abstract address `addr` may land in
-/// the text segment `[text_base, text_end)`.
-fn store_may_hit_text(addr: &AbsVal, size: u32, text_base: u32, text_end: u32) -> bool {
-    match addr.values() {
-        None => true,
-        Some(vs) => vs
-            .iter()
-            .any(|&a| a.wrapping_add(size) > text_base && a < text_end),
-    }
-}
-
 /// Symbolically executes each guard's checksum and judges its embedded
-/// signature constant. `regs` is the result of [`analyze_registers`];
-/// `windows` the structural windows from the guard check.
+/// signature constant. `mem` is the result of
+/// [`crate::memdom::analyze_memory`]; `windows` the structural windows
+/// from the guard check.
 pub fn prove_guards(
     image: &Image,
     config: &SecMonConfig,
     text: &[u32],
     flow: &Flow,
-    regs: &[RegState],
+    mem: &[crate::memdom::MemFact],
     windows: &[GuardWindow],
 ) -> Vec<GuardProof> {
-    let text_end = image.text_base + 4 * text.len() as u32;
     windows
         .iter()
         .map(|w| {
-            let verdict = prove_window(image, config, text, flow, regs, w, text_end);
+            let verdict = prove_window(image, config, text, flow, mem, w);
             GuardProof {
                 site_addr: w.site_addr,
                 verdict,
@@ -426,47 +494,40 @@ fn prove_window(
     config: &SecMonConfig,
     text: &[u32],
     flow: &Flow,
-    regs: &[RegState],
+    mem: &[crate::memdom::MemFact],
     w: &GuardWindow,
-    text_end: u32,
 ) -> Verdict {
     if !w.structural {
         return Verdict::Unproven {
-            reason: "window failed structural verification".to_owned(),
+            reason: UnprovenReason::NotStructural,
         };
     }
     if w.end() > text.len() {
         return Verdict::Unproven {
-            reason: "window extends past the end of text".to_owned(),
+            reason: UnprovenReason::OutOfBounds,
         };
     }
     // Soundness obligation: the proof values window words from the static
-    // text, so a store that (a) can execute and (b) may target text would
-    // invalidate it. The register value-sets decide (b); reachability of
-    // the store decides (a).
-    for b in w.start..w.end() {
-        let Some(inst) = flow.decoded[b] else {
-            continue;
+    // text, so a reachable in-window store that may rewrite *this hashed
+    // interval* would invalidate it. The memory-sensitive points-to
+    // partition (see `crate::alias`) decides the overlap; a store that
+    // provably lands elsewhere — the stack frame, the data segment, even
+    // other text — cannot change what this window hashes and signs.
+    let aliasing = crate::alias::partition_window(image, flow, mem, w);
+    if let Some(&(b, target_addr)) = aliasing.must_alias.first() {
+        return Verdict::Unproven {
+            reason: UnprovenReason::StoreClobbersWindow {
+                store_addr: image.text_base + 4 * b as u32,
+                target_addr,
+            },
         };
-        let (off, base, size) = match inst {
-            Inst::Sb { off, base, .. } => (off, base, 1),
-            Inst::Sh { off, base, .. } => (off, base, 2),
-            Inst::Sw { off, base, .. } => (off, base, 4),
-            _ => continue,
+    }
+    if let Some(&b) = aliasing.may_alias.first() {
+        return Verdict::Unproven {
+            reason: UnprovenReason::StoreMayAliasWindow {
+                store_addr: image.text_base + 4 * b as u32,
+            },
         };
-        let Some(state) = regs.get(b).and_then(|s| s.as_ref()) else {
-            // No static path reaches the store: it never executes.
-            continue;
-        };
-        let addr = state[base.index() as usize].map(|x| x.wrapping_add(off as i32 as u32));
-        if store_may_hit_text(&addr, size, image.text_base, text_end) {
-            return Verdict::Unproven {
-                reason: format!(
-                    "store at {:#010x} may target the text segment",
-                    image.text_base + 4 * b as u32
-                ),
-            };
-        }
     }
 
     // Abstract replay of the hardware's checksum loop: body words, then
@@ -487,10 +548,10 @@ fn prove_window(
 
     match hasher.digest() {
         AbsVal::Bot => Verdict::Unproven {
-            reason: "window has no feasible valuation".to_owned(),
+            reason: UnprovenReason::NoFeasibleValuation,
         },
         AbsVal::Top => Verdict::Unproven {
-            reason: format!("window valuation exceeds the value-set budget ({MAX_SET})"),
+            reason: UnprovenReason::ValuationBudget,
         },
         AbsVal::Const(computed) if computed == claimed => Verdict::Proven { digest: computed },
         AbsVal::Const(computed) => Verdict::Mismatch {
@@ -501,7 +562,7 @@ fn prove_window(
         AbsVal::Set(ds) => {
             if ds.contains(&claimed) {
                 Verdict::Unproven {
-                    reason: "digest is ambiguous over the value set".to_owned(),
+                    reason: UnprovenReason::AmbiguousDigest,
                 }
             } else {
                 let computed = ds[0];
@@ -681,10 +742,10 @@ mod tests {
     fn windows_of(
         image: &Image,
         _config: &SecMonConfig,
-    ) -> (Flow, Vec<RegState>, Vec<GuardWindow>) {
+    ) -> (Flow, Vec<crate::memdom::MemFact>, Vec<GuardWindow>) {
         let text = image.text.clone();
         let flow = Flow::recover(image, &text);
-        let regs = analyze_registers(image, &flow);
+        let mem = crate::memdom::analyze_memory(image, &flow);
         let windows = vec![GuardWindow {
             site_addr: image.text_base + 8,
             start: 0,
@@ -694,14 +755,14 @@ mod tests {
             structural: true,
             sound: true,
         }];
-        (flow, regs, windows)
+        (flow, mem, windows)
     }
 
     #[test]
     fn intact_guard_is_proven() {
         let (image, config) = synthetic_guarded();
-        let (flow, regs, windows) = windows_of(&image, &config);
-        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        let (flow, mem, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
         assert_eq!(proofs.len(), 1);
         assert!(
             matches!(proofs[0].verdict, Verdict::Proven { .. }),
@@ -717,8 +778,8 @@ mod tests {
         // form, but the spelled signature changes.
         let old = decode_guard_symbol(image.text[3]);
         image.text[3] = encode_guard_inst(old ^ 0x01, 1).encode();
-        let (flow, regs, windows) = windows_of(&image, &config);
-        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        let (flow, mem, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
         match &proofs[0].verdict {
             Verdict::Mismatch {
                 claimed,
@@ -736,8 +797,8 @@ mod tests {
     fn corrupted_body_yields_mismatch() {
         let (mut image, config) = synthetic_guarded();
         image.text[1] ^= 1 << 3;
-        let (flow, regs, windows) = windows_of(&image, &config);
-        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        let (flow, mem, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
         assert!(
             matches!(proofs[0].verdict, Verdict::Mismatch { .. }),
             "{:?}",
@@ -748,10 +809,10 @@ mod tests {
     #[test]
     fn non_structural_window_is_unproven_not_an_error() {
         let (image, config) = synthetic_guarded();
-        let (flow, regs, mut windows) = windows_of(&image, &config);
+        let (flow, mem, mut windows) = windows_of(&image, &config);
         windows[0].structural = false;
         windows[0].sound = false;
-        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
         assert!(
             matches!(proofs[0].verdict, Verdict::Unproven { .. }),
             "{:?}",
@@ -779,11 +840,14 @@ mod tests {
         config.guard_key = key;
         config.window_starts.insert(base);
         config.sites.insert(base + 8, Default::default());
-        let (flow, regs, windows) = windows_of(&image, &config);
-        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        let (flow, mem, windows) = windows_of(&image, &config);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
         match &proofs[0].verdict {
             Verdict::Unproven { reason } => {
-                assert!(reason.contains("store"), "{reason}");
+                assert!(
+                    matches!(reason, UnprovenReason::StoreMayAliasWindow { .. }),
+                    "{reason}"
+                );
             }
             other => panic!("expected unproven, got {other:?}"),
         }
@@ -814,7 +878,7 @@ mod tests {
         config.sites.insert(site_addr, Default::default());
         let text = image.text.clone();
         let flow = Flow::recover(&image, &text);
-        let regs = analyze_registers(&image, &flow);
+        let mem = crate::memdom::analyze_memory(&image, &flow);
         let windows = vec![GuardWindow {
             site_addr,
             start: 0,
@@ -824,11 +888,95 @@ mod tests {
             structural: true,
             sound: true,
         }];
-        let proofs = prove_guards(&image, &config, &image.text, &flow, &regs, &windows);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
         assert!(
             matches!(proofs[0].verdict, Verdict::Proven { .. }),
             "{:?}",
             proofs[0]
         );
+    }
+
+    /// Signs a window over the first `body_len` words of `image` and
+    /// returns everything `prove_guards` needs for it.
+    fn sign_prefix_window(
+        image: &mut Image,
+        key: u64,
+        body_len: usize,
+    ) -> (
+        SecMonConfig,
+        Flow,
+        Vec<crate::memdom::MemFact>,
+        Vec<GuardWindow>,
+    ) {
+        let base = image.text_base;
+        let mut h = WindowHasher::new(key);
+        for i in 0..body_len {
+            h.absorb(base + 4 * i as u32, image.text[i]);
+        }
+        let sig = h.digest();
+        for (k, sym) in signature_symbols(sig).iter().enumerate() {
+            image.text[body_len + k] = encode_guard_inst(*sym, k as u8).encode();
+        }
+        let site_addr = base + 4 * body_len as u32;
+        let mut config = SecMonConfig::transparent();
+        config.guard_key = key;
+        config.window_starts.insert(base);
+        config.sites.insert(site_addr, Default::default());
+        let text = image.text.clone();
+        let flow = Flow::recover(image, &text);
+        let mem = crate::memdom::analyze_memory(image, &flow);
+        let windows = vec![GuardWindow {
+            site_addr,
+            start: 0,
+            site: body_len,
+            symbols: SIG_SYMBOLS as usize,
+            tail: 0,
+            structural: true,
+            sound: true,
+        }];
+        (config, flow, mem, windows)
+    }
+
+    #[test]
+    fn stack_relative_store_in_window_is_discharged() {
+        // The historical refusal driver: a frame spill inside the hashed
+        // window. Region separation proves it disjoint from the window.
+        let mut image = flexprot_asm::assemble_or_panic(
+            "main: addi $sp, $sp, -16\n sw $t0, 8($sp)\n nop\n nop\n nop\n nop\n \
+             li $v0, 10\n syscall\n",
+        );
+        let body_len = image.text.len() - 6;
+        let (config, flow, mem, windows) = sign_prefix_window(&mut image, 0x1EE7, body_len);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
+        assert!(
+            matches!(proofs[0].verdict, Verdict::Proven { .. }),
+            "sp-relative store must not block the proof: {:?}",
+            proofs[0]
+        );
+    }
+
+    #[test]
+    fn store_that_provably_rewrites_the_window_refuses_with_clobber() {
+        // `la main` is the window's own first word: a must-alias rewrite.
+        let mut image = flexprot_asm::assemble_or_panic(
+            "main: la $t2, main\n sw $zero, 0($t2)\n nop\n nop\n nop\n nop\n \
+             li $v0, 10\n syscall\n",
+        );
+        let body_len = image.text.len() - 6;
+        let (config, flow, mem, windows) = sign_prefix_window(&mut image, 0x1EE7, body_len);
+        let proofs = prove_guards(&image, &config, &image.text, &flow, &mem, &windows);
+        match &proofs[0].verdict {
+            Verdict::Unproven {
+                reason:
+                    UnprovenReason::StoreClobbersWindow {
+                        store_addr,
+                        target_addr,
+                    },
+            } => {
+                assert_eq!(*target_addr, image.text_base, "rewrites word 0");
+                assert!(*store_addr > image.text_base);
+            }
+            other => panic!("expected a clobber refusal, got {other:?}"),
+        }
     }
 }

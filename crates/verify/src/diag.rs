@@ -128,6 +128,14 @@ lints! {
         "translation validation: decrypting an encrypted word does not restore the baseline instruction");
     EQUIV_REFUSED = ("FP804", "refused-window", Warning,
         "translation validation refused to judge a guard window; the refusal reason is logged");
+    TAINT_KEY_STORE = ("FP901", "key-material-store", Error,
+        "key-derived data (a ciphertext read) flows to a store outside every encrypted region");
+    TAINT_KEY_SYSCALL = ("FP902", "key-material-syscall", Error,
+        "key-derived data reaches a syscall operand register and escapes through the environment");
+    TAINT_KEY_DEPENDENT = ("FP903", "key-dependent-control", Warning,
+        "a branch condition or memory address depends on key-derived data (a side channel)");
+    TAINT_UNRESOLVED_READ = ("FP904", "unresolved-ciphertext-read", Warning,
+        "a load may read an encrypted region but its address is unresolved; taint tracking is approximate");
 }
 
 /// Looks up a lint by its stable ID or short name.
@@ -239,6 +247,8 @@ pub struct VerifyStats {
     /// Guards whose embedded signature the abstract interpreter proved
     /// consistent with the text it covers.
     pub proven_constants: usize,
+    /// Key-flow counters, when the taint analysis ran (`fplint --taint`).
+    pub taint: Option<crate::taint::TaintStats>,
 }
 
 /// The product of a verification run: findings plus statistics.
@@ -294,10 +304,21 @@ impl Report {
             self.stats.guard_edges,
             self.stats.proven_constants,
         ));
-        match self.stats.max_spacing {
-            Some(max) => out.push_str(&format!("; max guard-free path {max}\n")),
-            None => out.push('\n'),
+        if let Some(max) = self.stats.max_spacing {
+            out.push_str(&format!("; max guard-free path {max}"));
         }
+        if let Some(t) = &self.stats.taint {
+            out.push_str(&format!(
+                "; key flow: {} source(s), {} tainted store(s), {} tainted syscall(s), \
+                 {} key-dependent, {} unresolved read(s)",
+                t.sources,
+                t.tainted_stores,
+                t.tainted_syscalls,
+                t.key_dependent,
+                t.unresolved_reads,
+            ));
+        }
+        out.push('\n');
         out
     }
 
@@ -305,16 +326,33 @@ impl Report {
     ///
     /// Schema: `{"schema","clean","stats":{...},"findings":[{"id","name",
     /// "severity","addr","message"}]}` with `addr` a `"0x…"` string or
-    /// `null`.  Field order is fixed; consumers may rely on it.
+    /// `null`.  Field order is fixed; consumers may rely on it. When the
+    /// key-flow analysis ran, `stats` additionally carries
+    /// `"taint":{"sources","tainted_stores","tainted_syscalls",
+    /// "key_dependent","unresolved_reads"}` (`"taint":null` otherwise).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"schema\":\"flexprot-lint-v1\"");
         out.push_str(&format!(",\"clean\":{}", self.is_clean()));
         let s = &self.stats;
+        let taint = s.taint.map_or_else(
+            || "null".to_owned(),
+            |t| {
+                format!(
+                    "{{\"sources\":{},\"tainted_stores\":{},\"tainted_syscalls\":{},\
+                     \"key_dependent\":{},\"unresolved_reads\":{}}}",
+                    t.sources,
+                    t.tainted_stores,
+                    t.tainted_syscalls,
+                    t.key_dependent,
+                    t.unresolved_reads,
+                )
+            },
+        );
         out.push_str(&format!(
             ",\"stats\":{{\"text_words\":{},\"reachable_words\":{},\"sites_checked\":{},\
              \"relocs_checked\":{},\"max_spacing\":{},\"sound_windows\":{},\
              \"covered_words\":{},\"surface_words\":{},\"guard_edges\":{},\
-             \"proven_constants\":{}}}",
+             \"proven_constants\":{},\"taint\":{taint}}}",
             s.text_words,
             s.reachable_words,
             s.sites_checked,

@@ -29,12 +29,15 @@
 //!    every scheduled guard run must write no live architectural state.
 //!    Guard-form words are inert by construction (`rd == $zero`, no
 //!    memory, no control). Anything else is judged by lockstep symbolic
-//!    execution on the [`crate::absint`] value-set domain plus the
+//!    execution on the memory-sensitive [`crate::memdom`] domain plus the
 //!    [`crate::liveness`] solution of the protected flow: a write to a
-//!    register live past the window, an observable syscall, or a
-//!    provably-taken control transfer is `FP801`; a store or a branch
-//!    whose condition the domain cannot decide is a *sound refusal*,
-//!    `FP804`, never a silent pass.
+//!    register live past the window, an observable syscall, a
+//!    provably-taken control transfer, or a store that provably rewrites
+//!    the text segment ([`crate::alias`] must-alias) is `FP801`; a store
+//!    the points-to partition cannot separate from text, a provably-data
+//!    store (the baseline performs no such write), or a branch whose
+//!    condition the domain cannot decide is a *sound refusal*, `FP804`
+//!    with a typed [`RefusalReason`], never a silent pass.
 //! 3. **Cipher identity** ([`Obligation::Cipher`]): for every region of
 //!    the monitor's table, applying the keystream twice must restore the
 //!    stored ciphertext word-for-word (the involution half of the
@@ -42,9 +45,11 @@
 //!    `FP803` with the offending address as witness.
 //!
 //! Verdicts are three-valued ([`EquivVerdict`]): `Proven`, `Inequivalent`
-//! with a concrete witness address, or `Refused` with the logged reason —
-//! a refusal is sound (the validator does not know, and says so) and is
-//! surfaced as a warning rather than an error.
+//! with a concrete witness address, or `Refused` with a typed
+//! [`RefusalReason`] (stable snake_case `code()` for machine consumers,
+//! prose `Display` for humans) — a refusal is sound (the validator does
+//! not know, and says so) and is surfaced as a warning rather than an
+//! error.
 
 use std::collections::BTreeMap;
 
@@ -52,10 +57,12 @@ use flexprot_isa::{Image, Inst, Reg, Reloc, RelocKind};
 use flexprot_secmon::guard::is_guard_form;
 use flexprot_secmon::SecMonConfig;
 
-use crate::absint::{self, AbsVal, RegState};
+use crate::absint::AbsVal;
+use crate::alias::{self, StoreClass};
 use crate::diag::{self, json_escape, Finding, LintPolicy, Severity};
 use crate::flow::Flow;
 use crate::liveness::{self, Liveness};
+use crate::memdom::{self, MemFact};
 use crate::{decrypt_text, Sink};
 
 /// Cap on findings emitted per lint before summarising, mirroring
@@ -73,6 +80,56 @@ pub enum Obligation {
     Cipher,
 }
 
+/// Why the transparency prover refused to decide a guard-window word.
+///
+/// Every variant carries a stable snake_case [`code`](Self::code) for
+/// machine consumers (CSV columns, the `"code"` JSON field) and prose
+/// `Display` for humans; the codes are part of the `flexprot-equiv-v1`
+/// contract and must never be renamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefusalReason {
+    /// The store target is provably outside the text segment. Still a
+    /// refusal: the baseline performs no such write, and data-memory
+    /// equality is outside the lockstep domain — but the sharper class
+    /// tells an auditor self-modification is excluded.
+    StoreWritesMemory,
+    /// The store's points-to set could not be separated from the text
+    /// segment, so a self-rewrite cannot be excluded.
+    StoreMayAliasText,
+    /// The branch condition is not statically decided by the domain.
+    BranchUndecided,
+}
+
+impl RefusalReason {
+    /// The stable machine-readable code (snake_case, never renamed).
+    pub fn code(self) -> &'static str {
+        match self {
+            RefusalReason::StoreWritesMemory => "store_writes_memory",
+            RefusalReason::StoreMayAliasText => "store_may_alias_text",
+            RefusalReason::BranchUndecided => "branch_undecided",
+        }
+    }
+}
+
+impl std::fmt::Display for RefusalReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let prose = match self {
+            RefusalReason::StoreWritesMemory => {
+                "store in guard window provably writes data memory the baseline \
+                 never touches; transparency is unprovable"
+            }
+            RefusalReason::StoreMayAliasText => {
+                "store in guard window may rewrite the text segment; \
+                 self-modification cannot be excluded"
+            }
+            RefusalReason::BranchUndecided => {
+                "branch condition in guard window is not statically decided"
+            }
+        };
+        f.write_str(prose)
+    }
+}
+
 /// The three-valued outcome of a proof obligation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EquivVerdict {
@@ -87,7 +144,7 @@ pub enum EquivVerdict {
     /// The validator could not decide and honestly says so.
     Refused {
         /// Why precision ran out.
-        reason: String,
+        reason: RefusalReason,
     },
 }
 
@@ -146,7 +203,7 @@ pub struct EquivReport {
     /// Per-window transparency verdicts, in site-address order.
     pub windows: Vec<WindowEquiv>,
     /// Every logged refusal: `(protected address, reason)`.
-    pub refusals: Vec<(u32, String)>,
+    pub refusals: Vec<(u32, RefusalReason)>,
     /// The overall verdict (worst of the three obligations).
     pub verdict: EquivVerdict,
 }
@@ -166,24 +223,31 @@ impl EquivReport {
 
     /// Renders the stable `flexprot-equiv-v1` JSON document.
     ///
-    /// Schema: `{"schema","verdict","witness","reason","stats":{...},
-    /// "windows":[{"site","verdict","witness","reason"}],
-    /// "refusals":[{"addr","reason"}],"findings":[{"id","name","severity",
-    /// "addr","message"}]}` — field order is fixed, addresses are
-    /// `"0x…"` strings or `null`.
+    /// Schema: `{"schema","verdict","witness","reason","code",
+    /// "stats":{...},
+    /// "windows":[{"site","verdict","witness","reason","code"}],
+    /// "refusals":[{"addr","code","reason"}],"findings":[{"id","name",
+    /// "severity","addr","message"}]}` — field order is fixed, addresses
+    /// are `"0x…"` strings or `null`; `"code"` is the stable snake_case
+    /// [`RefusalReason::code`] (or `null` when the verdict is not a
+    /// refusal).
     pub fn to_json(&self) -> String {
         fn verdict_fields(v: &EquivVerdict) -> String {
-            let (witness, reason) = match v {
-                EquivVerdict::Proven => ("null".to_owned(), "null".to_owned()),
-                EquivVerdict::Inequivalent { witness_addr } => {
-                    (format!("\"{witness_addr:#010x}\""), "null".to_owned())
-                }
-                EquivVerdict::Refused { reason } => {
-                    ("null".to_owned(), format!("\"{}\"", json_escape(reason)))
-                }
+            let (witness, reason, code) = match v {
+                EquivVerdict::Proven => ("null".to_owned(), "null".to_owned(), "null".to_owned()),
+                EquivVerdict::Inequivalent { witness_addr } => (
+                    format!("\"{witness_addr:#010x}\""),
+                    "null".to_owned(),
+                    "null".to_owned(),
+                ),
+                EquivVerdict::Refused { reason } => (
+                    "null".to_owned(),
+                    format!("\"{}\"", json_escape(&reason.to_string())),
+                    format!("\"{}\"", reason.code()),
+                ),
             };
             format!(
-                "\"verdict\":\"{}\",\"witness\":{witness},\"reason\":{reason}",
+                "\"verdict\":\"{}\",\"witness\":{witness},\"reason\":{reason},\"code\":{code}",
                 v.label()
             )
         }
@@ -223,8 +287,9 @@ impl EquivReport {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"addr\":\"{addr:#010x}\",\"reason\":\"{}\"}}",
-                json_escape(reason)
+                "{{\"addr\":\"{addr:#010x}\",\"code\":\"{}\",\"reason\":\"{}\"}}",
+                reason.code(),
+                json_escape(&reason.to_string())
             ));
         }
         out.push_str("],\"findings\":[");
@@ -259,7 +324,7 @@ pub fn validate(base: &Image, protected: &Image, config: &SecMonConfig) -> Equiv
 enum WordJudgement {
     Transparent,
     Clobber(String),
-    Refused(String),
+    Refused(RefusalReason),
 }
 
 /// Validates `protected` against `base`, applying `policy` severity
@@ -274,7 +339,7 @@ pub fn validate_with_policy(
         policy,
         findings: Vec::new(),
     };
-    let mut refusals: Vec<(u32, String)> = Vec::new();
+    let mut refusals: Vec<(u32, RefusalReason)> = Vec::new();
     let text = decrypt_text(protected, config);
     let mut stats = EquivStats {
         base_words: base.text.len(),
@@ -439,7 +504,7 @@ pub fn validate_with_policy(
         }
     }
     let live = liveness::analyze(&sanitized);
-    let regs = absint::analyze_registers(protected, &flow);
+    let mem = memdom::analyze_memory(protected, &flow);
     let mut windows: Vec<WindowEquiv> = Vec::new();
     for (&site_addr, site) in &config.sites {
         let symbols = site.symbols as usize;
@@ -458,7 +523,7 @@ pub fn validate_with_policy(
                 continue; // never fetched: vacuously transparent
             }
             let addr_g = protected.addr_of_index(g);
-            match judge_guard_word(g, &text, &flow, &live, &regs) {
+            match judge_guard_word(g, protected, &text, &flow, &live, &mem) {
                 WordJudgement::Transparent => {}
                 WordJudgement::Clobber(detail) => {
                     sink.emit(&diag::EQUIV_GUARD_CLOBBER, Some(addr_g), detail);
@@ -468,8 +533,8 @@ pub fn validate_with_policy(
                     break;
                 }
                 WordJudgement::Refused(reason) => {
-                    sink.emit(&diag::EQUIV_REFUSED, Some(addr_g), reason.clone());
-                    refusals.push((addr_g, reason.clone()));
+                    sink.emit(&diag::EQUIV_REFUSED, Some(addr_g), reason.to_string());
+                    refusals.push((addr_g, reason));
                     verdict = EquivVerdict::Refused { reason };
                     break;
                 }
@@ -533,9 +598,7 @@ pub fn validate_with_policy(
         .map(|f| f.addr.unwrap_or(protected.text_base));
     let verdict = match (witness, refusals.first()) {
         (Some(witness_addr), _) => EquivVerdict::Inequivalent { witness_addr },
-        (None, Some((_, reason))) => EquivVerdict::Refused {
-            reason: reason.clone(),
-        },
+        (None, Some((_, reason))) => EquivVerdict::Refused { reason: *reason },
         (None, None) => EquivVerdict::Proven,
     };
     EquivReport {
@@ -668,13 +731,15 @@ fn non_control_mismatch(
 }
 
 /// Judges one reachable guard-window word against the transparency
-/// obligation, on the protected flow's liveness and value-set facts.
+/// obligation, on the protected flow's liveness and memory-sensitive
+/// value-set facts.
 fn judge_guard_word(
     g: usize,
+    protected: &Image,
     text: &[u32],
     flow: &Flow,
     live: &Liveness,
-    regs: &[RegState],
+    mem: &[MemFact],
 ) -> WordJudgement {
     let word = text[g];
     if is_guard_form(word) {
@@ -686,9 +751,27 @@ fn judge_guard_word(
         );
     };
     if inst.is_store() {
-        return WordJudgement::Refused(
-            "store in guard window writes data memory; transparency is unprovable".to_owned(),
-        );
+        // Points-to classification against the text segment: a must-alias
+        // store provably rewrites fetched code (clobber with witness), a
+        // may-alias store might, and even a provably-data store refuses —
+        // the baseline performs no such write — but with the sharper
+        // reason that rules self-modification out.
+        let lo = protected.text_base;
+        let hi = lo.wrapping_add(4 * text.len() as u32);
+        let class = mem
+            .get(g)
+            .and_then(|f| f.as_ref())
+            .and_then(|state| alias::store_site(g, inst, state))
+            .map_or(StoreClass::MayAlias, |site| {
+                alias::classify(&site.target, site.size, lo, hi)
+            });
+        return match class {
+            StoreClass::MustAlias { addr } => WordJudgement::Clobber(format!(
+                "store in guard window provably rewrites the text word at {addr:#010x}"
+            )),
+            StoreClass::MayAlias => WordJudgement::Refused(RefusalReason::StoreMayAliasText),
+            StoreClass::NoAlias => WordJudgement::Refused(RefusalReason::StoreWritesMemory),
+        };
     }
     if matches!(inst, Inst::Syscall | Inst::Break) {
         return WordJudgement::Clobber(
@@ -697,14 +780,12 @@ fn judge_guard_word(
     }
     if inst.is_branch() {
         // Lockstep symbolic execution decides the condition where it can.
-        return match branch_taken(inst, regs.get(g).and_then(|s| s.as_deref())) {
+        return match branch_taken(inst, mem.get(g).and_then(|f| f.as_ref())) {
             Some(false) => WordJudgement::Transparent,
             Some(true) => WordJudgement::Clobber(
                 "provably-taken branch in guard window diverts control flow".to_owned(),
             ),
-            None => WordJudgement::Refused(
-                "branch condition in guard window is not statically decided".to_owned(),
-            ),
+            None => WordJudgement::Refused(RefusalReason::BranchUndecided),
         };
     }
     if inst.is_control_transfer() {
@@ -721,8 +802,12 @@ fn judge_guard_word(
 }
 
 /// Abstractly evaluates whether a conditional branch is taken: `Some`
-/// when the value-set domain decides the condition, `None` otherwise.
-fn branch_taken(inst: Inst, state: Option<&[AbsVal]>) -> Option<bool> {
+/// when the memory-sensitive domain decides the condition, `None`
+/// otherwise. Register contents are compared through their scalar
+/// ([`crate::memdom::MemVal::as_abs`]) views, which carry values reloaded
+/// from tracked stack slots — a spill/reload pair no longer loses the
+/// constant the scalar-only domain used to decide with.
+fn branch_taken(inst: Inst, state: Option<&memdom::MemState>) -> Option<bool> {
     use Inst::*;
     // Same-register compares correlate: the cartesian product would
     // fabricate infeasible pairs, so decide them structurally.
@@ -732,10 +817,10 @@ fn branch_taken(inst: Inst, state: Option<&[AbsVal]>) -> Option<bool> {
         _ => {}
     }
     let state = state?;
-    let r = |reg: Reg| &state[reg.index() as usize];
+    let r = |reg: Reg| state.regs[reg.index() as usize].as_abs();
     let cond = match inst {
-        Beq { rs, rt, .. } => r(rs).map2(r(rt), |a, b| u32::from(a == b)),
-        Bne { rs, rt, .. } => r(rs).map2(r(rt), |a, b| u32::from(a != b)),
+        Beq { rs, rt, .. } => r(rs).map2(&r(rt), |a, b| u32::from(a == b)),
+        Bne { rs, rt, .. } => r(rs).map2(&r(rt), |a, b| u32::from(a != b)),
         Blez { rs, .. } => r(rs).map(|a| u32::from(a as i32 <= 0)),
         Bgtz { rs, .. } => r(rs).map(|a| u32::from(a as i32 > 0)),
         Bltz { rs, .. } => r(rs).map(|a| u32::from((a as i32) < 0)),
@@ -755,23 +840,20 @@ mod tests {
     use flexprot_secmon::guard::{encode_guard_inst, signature_symbols, WindowHasher};
     use flexprot_secmon::{GuardSite, SIG_SYMBOLS};
 
-    /// Hand-protects a tiny program: one guard run spliced between body
-    /// and terminator, signed like the real emitter would.
-    fn hand_protected() -> (Image, Image, SecMonConfig) {
-        let base =
-            flexprot_asm::assemble_or_panic("main: li $t0, 5\n li $t1, 6\n li $v0, 10\n syscall\n");
+    /// Splices one signed guard run into `base` at word `site_index`
+    /// (hashing every word before the site plus `tail` words after the
+    /// run), like the real emitter would.
+    fn splice_guard(base: &Image, site_index: usize, tail: u32) -> (Image, SecMonConfig) {
         let key = 0x1EE7;
         let mut prot = base.clone();
-        // Splice SIG_SYMBOLS guard words between word 1 and word 2.
-        let site_index = 2usize;
-        let tail = 2u32; // terminator pair signed at their new addresses
-        for k in 0..SIG_SYMBOLS as usize {
-            prot.text.insert(site_index + k, 0);
+        for _ in 0..SIG_SYMBOLS as usize {
+            prot.text.insert(site_index, 0);
         }
         let site_addr = prot.addr_of_index(site_index);
         let mut h = WindowHasher::new(key);
-        h.absorb(prot.text_base, prot.text[0]);
-        h.absorb(prot.text_base + 4, prot.text[1]);
+        for i in 0..site_index {
+            h.absorb(prot.addr_of_index(i), prot.text[i]);
+        }
         for t in 0..tail as usize {
             let idx = site_index + SIG_SYMBOLS as usize + t;
             h.absorb(prot.addr_of_index(idx), prot.text[idx]);
@@ -790,6 +872,15 @@ mod tests {
                 tail,
             },
         );
+        (prot, config)
+    }
+
+    /// Hand-protects a tiny program: one guard run spliced between body
+    /// and terminator, signed like the real emitter would.
+    fn hand_protected() -> (Image, Image, SecMonConfig) {
+        let base =
+            flexprot_asm::assemble_or_panic("main: li $t0, 5\n li $t1, 6\n li $v0, 10\n syscall\n");
+        let (prot, config) = splice_guard(&base, 2, 2);
         (base, prot, config)
     }
 
@@ -865,14 +956,79 @@ mod tests {
         }
         .encode();
         let report = validate(&base, &prot, &config);
-        assert!(
-            matches!(report.verdict, EquivVerdict::Refused { .. }),
+        // $sp-relative: the points-to partition proves the store never
+        // touches text, so the refusal carries the sharper data-write
+        // reason rather than the may-alias one.
+        assert_eq!(
+            report.verdict,
+            EquivVerdict::Refused {
+                reason: RefusalReason::StoreWritesMemory
+            },
             "{:?}",
             report.verdict
         );
-        assert_eq!(report.refusals.len(), 1);
+        assert_eq!(
+            report.refusals,
+            vec![(prot.addr_of_index(3), RefusalReason::StoreWritesMemory)]
+        );
         assert_eq!(report.count_id("FP804"), 1);
         assert!(report.is_clean(), "a refusal is a warning, not an error");
+        let json = report.to_json();
+        assert!(
+            json.contains("\"code\":\"store_writes_memory\""),
+            "typed code must survive into the JSON: {json}"
+        );
+    }
+
+    #[test]
+    fn store_rewriting_text_is_inequivalent_not_refused() {
+        // `lui $t2, 0x40` pins $t2 at the text base, so the spliced
+        // store provably rewrites fetched code — the memory-sensitive
+        // judge upgrades what used to be a blanket refusal to a clobber.
+        let base = flexprot_asm::assemble_or_panic(
+            "main: lui $t2, 0x40\n li $t1, 6\n li $v0, 10\n syscall\n",
+        );
+        let (mut prot, config) = splice_guard(&base, 2, 2);
+        prot.text[3] = Inst::Sw {
+            rt: Reg::ZERO,
+            off: 0,
+            base: Reg::T2,
+        }
+        .encode();
+        let report = validate(&base, &prot, &config);
+        assert_eq!(report.count_id("FP801"), 1, "{:?}", report.findings);
+        assert!(
+            matches!(report.verdict, EquivVerdict::Inequivalent { .. }),
+            "{:?}",
+            report.verdict
+        );
+        assert!(report.refusals.is_empty());
+    }
+
+    #[test]
+    fn branch_decided_through_a_tracked_stack_slot_is_proven() {
+        // The scalar domain loses the reloaded constant ($t1 would be
+        // Top after the `lw`); the memory domain carries 5 through the
+        // tracked slot, decides `bne $t0, $t1` not-taken, and proves the
+        // window instead of refusing it.
+        let base = flexprot_asm::assemble_or_panic(
+            "main: li $t0, 5\n sw $t0, -4($sp)\n lw $t1, -4($sp)\n li $v0, 10\n syscall\n",
+        );
+        let (mut prot, config) = splice_guard(&base, 3, 2);
+        prot.text[4] = Inst::Bne {
+            rs: Reg::T0,
+            rt: Reg::T1,
+            off: 1,
+        }
+        .encode();
+        let report = validate(&base, &prot, &config);
+        assert_eq!(
+            report.verdict,
+            EquivVerdict::Proven,
+            "{:?}",
+            report.findings
+        );
+        assert!(report.refusals.is_empty());
     }
 
     #[test]
@@ -931,6 +1087,7 @@ mod tests {
         for key in [
             "\"schema\":\"flexprot-equiv-v1\"",
             "\"verdict\":\"proven\"",
+            "\"code\":null",
             "\"stats\"",
             "\"guard_words\"",
             "\"windows\"",

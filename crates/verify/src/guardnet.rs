@@ -509,7 +509,10 @@ fn st_vertex_cut(adj: &[Vec<usize>], s: usize, t: usize) -> Vec<usize> {
 /// "checked_by","scc","unchecked","acyclic","in_cut","articulation",
 /// "proof","detail"}],"weak_links":[{"site","score"}]}`. Field order is
 /// fixed; consumers may rely on it. `min_cut` is `null` when no cut
-/// exists, else a list of site addresses.
+/// exists, else a list of site addresses. `detail` is `null` where no
+/// proof was attempted, a digest/witness string for proven/mismatch, and
+/// a `{"code","reason"}` object (stable snake_case refusal code plus
+/// prose) for unproven.
 pub fn to_json(net: &GuardNet, proofs: &[GuardProof]) -> String {
     let proven = proofs
         .iter()
@@ -594,7 +597,11 @@ fn proof_fields(proofs: &[GuardProof], site_addr: u32) -> (&'static str, String)
             }
             Verdict::Unproven { reason } => (
                 "unproven",
-                format!("\"{}\"", crate::diag::json_escape(reason)),
+                format!(
+                    "{{\"code\": \"{}\", \"reason\": \"{}\"}}",
+                    reason.code(),
+                    crate::diag::json_escape(&reason.to_string())
+                ),
             ),
         },
     }

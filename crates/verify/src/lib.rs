@@ -36,6 +36,7 @@
 //! ```
 
 pub mod absint;
+pub mod alias;
 pub mod cfg;
 mod checks;
 pub mod coverage;
@@ -46,16 +47,20 @@ pub mod equiv;
 pub mod flow;
 pub mod guardnet;
 pub mod liveness;
+pub mod memdom;
+pub mod taint;
 
-pub use absint::{AbsHasher, AbsVal, GuardProof, Verdict};
+pub use absint::{AbsHasher, AbsVal, GuardProof, UnprovenReason, Verdict};
+pub use alias::StoreClass;
 pub use cfg::{BasicBlock, Cfg};
 pub use coverage::{Coverage, GuardWindow, SurfaceEntry, SurfaceMap};
 pub use diag::{lint_by_id, Finding, Lint, LintPolicy, Report, Severity, VerifyStats, LINTS};
 pub use domtree::DomTree;
-pub use equiv::{EquivReport, EquivStats, EquivVerdict, WindowEquiv};
+pub use equiv::{EquivReport, EquivStats, EquivVerdict, RefusalReason, WindowEquiv};
 pub use flow::{Edge, EdgeKind, Flow};
 pub use guardnet::{GuardNet, NetNode, WeakLink};
 pub use liveness::Liveness;
+pub use taint::{TaintState, TaintStats};
 
 use flexprot_isa::Image;
 use flexprot_secmon::SecMonConfig;
@@ -142,6 +147,18 @@ pub fn surface(image: &Image, config: &SecMonConfig) -> SurfaceMap {
 /// Runs every analysis once, returning both the report and the surface
 /// map ([`verify`]/[`surface`] are thin projections of this).
 pub fn analyze(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Verification {
+    analyze_with_options(image, config, policy, false)
+}
+
+/// [`analyze`] plus, when `taint` is set, the key-flow analysis
+/// ([`taint::check_taint`]): FP9xx findings land in the report and the
+/// run counters in [`VerifyStats::taint`].
+pub fn analyze_with_options(
+    image: &Image,
+    config: &SecMonConfig,
+    policy: &LintPolicy,
+    taint: bool,
+) -> Verification {
     let text = decrypt_text(image, config);
     let flow = Flow::recover(image, &text);
     let ctx = checks::Ctx {
@@ -169,12 +186,14 @@ pub fn analyze(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Ver
     checks::check_coverage(&ctx, &cov, &live, &mut sink);
     let surface = coverage::surface_map(image, config, &ctx.flow, &cfg, &cov);
 
-    // Abstract interpretation: the value-set register analysis feeds the
-    // per-guard checksum proofs; the window list feeds the guard network.
-    let regs = absint::analyze_registers(image, &ctx.flow);
-    let proofs = absint::prove_guards(image, config, &ctx.text, &ctx.flow, &regs, &cov.windows);
+    // Abstract interpretation: the memory-sensitive value-set analysis
+    // (pointer provenance + tracked stack frame) feeds the per-guard
+    // checksum proofs; the window list feeds the guard network.
+    let mem = memdom::analyze_memory(image, &ctx.flow);
+    let proofs = absint::prove_guards(image, config, &ctx.text, &ctx.flow, &mem, &cov.windows);
     let net = guardnet::build(&cov.windows);
     checks::check_network(&net, &proofs, &mut sink);
+    let taint_stats = taint.then(|| taint::check_taint(image, config, &ctx.flow, &mem, &mut sink));
 
     let report = Report {
         stats: VerifyStats {
@@ -191,6 +210,7 @@ pub fn analyze(image: &Image, config: &SecMonConfig, policy: &LintPolicy) -> Ver
                 .iter()
                 .filter(|p| matches!(p.verdict, absint::Verdict::Proven { .. }))
                 .count(),
+            taint: taint_stats,
         },
         findings: sink.findings,
     };

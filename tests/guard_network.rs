@@ -102,7 +102,10 @@ fn every_matrix_cell_gets_a_proof_or_a_reasoned_refusal() {
                 match &proof.verdict {
                     Verdict::Proven { .. } => {}
                     Verdict::Unproven { reason } => {
-                        assert!(!reason.is_empty(), "{label}: refusal without a reason");
+                        assert!(
+                            !reason.code().is_empty(),
+                            "{label}: refusal without a reason code"
+                        );
                     }
                     Verdict::Mismatch { witness_addr, .. } => panic!(
                         "{label}: untampered build claims a mismatch at {witness_addr:#010x}"
